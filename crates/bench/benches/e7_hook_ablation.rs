@@ -1,0 +1,65 @@
+//! E7 — the price of spoofability (ablation of the paper's central
+//! design decision).
+//!
+//! Every redirection and pipe goes through a replaceable `%`-hook
+//! (`ls > f` is really `%create 1 f {ls}` → `fn-%create` → `$&create`).
+//! This bench isolates that indirection: the same operation written
+//! (a) in surface syntax (hook dispatch), (b) calling the primitive
+//! `$&create` directly (what a non-spoofable shell would hard-code),
+//! and (c) with a user spoof layered on top (one more function call).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use es_bench::{machine, run};
+
+const NOCLOBBER: &str = "
+let (create = $fn-%create) {
+    fn %create fd file cmd {
+        if {test -f $file} {
+            throw error $file exists
+        } {
+            $create $fd $file $cmd
+        }
+    }
+}";
+
+fn bench_hooks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_hook_ablation");
+
+    group.bench_function("redirect/hook-dispatch", |b| {
+        let mut m = machine();
+        b.iter(|| run(&mut m, "echo data > /tmp/bench"));
+    });
+    group.bench_function("redirect/primitive-direct", |b| {
+        let mut m = machine();
+        b.iter(|| run(&mut m, "$&create 1 /tmp/bench {echo data}"));
+    });
+    group.bench_function("redirect/spoofed-noclobber", |b| {
+        let mut m = machine();
+        run(&mut m, NOCLOBBER);
+        b.iter(|| run(&mut m, "rm -f /tmp/bench; echo data > /tmp/bench"));
+    });
+
+    group.bench_function("pipe/hook-dispatch", |b| {
+        let mut m = machine();
+        b.iter(|| run(&mut m, "echo a b c | wc -w"));
+    });
+    group.bench_function("pipe/primitive-direct", |b| {
+        let mut m = machine();
+        b.iter(|| run(&mut m, "$&pipe {echo a b c} 1 0 {wc -w}"));
+    });
+
+    // Control flow also routes through hooks (%seq): measure a
+    // three-command block against three top-level commands.
+    group.bench_function("seq/hook-dispatch", |b| {
+        let mut m = machine();
+        b.iter(|| run(&mut m, "{true; true; true}"));
+    });
+    group.bench_function("seq/native-toplevel", |b| {
+        let mut m = machine();
+        b.iter(|| run(&mut m, "true; true; true"));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_hooks);
+criterion_main!(benches);

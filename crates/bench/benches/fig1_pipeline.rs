@@ -1,0 +1,41 @@
+//! F1 — Figure 1: the `%pipe` timing spoof.
+//!
+//! Measures the paper's six-stage word-frequency pipeline with and
+//! without the profiling spoof, over growing documents. The paper's
+//! qualitative result: spoofing `%pipe` gives per-stage timing for the
+//! cost of a little interpretation overhead; the pipeline still runs
+//! and produces identical output.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use es_bench::{machine_with_paper, run, FIG1_PIPELINE, FIG1_SPOOF};
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig1_pipeline");
+    group.sample_size(20);
+    for &words in &[200usize, 1000, 5000] {
+        group.bench_with_input(BenchmarkId::new("plain", words), &words, |b, &words| {
+            let mut m = machine_with_paper(words);
+            b.iter(|| run(&mut m, FIG1_PIPELINE));
+        });
+        group.bench_with_input(BenchmarkId::new("spoofed", words), &words, |b, &words| {
+            let mut m = machine_with_paper(words);
+            run(&mut m, FIG1_SPOOF);
+            b.iter(|| run(&mut m, FIG1_PIPELINE));
+        });
+    }
+    group.finish();
+
+    // The figure itself: print the per-stage profile once, like the
+    // paper does, so the harness regenerates the artifact verbatim.
+    let mut m = machine_with_paper(2500);
+    run(&mut m, FIG1_SPOOF);
+    m.run(FIG1_PIPELINE).expect("pipeline runs");
+    let out = m.os_mut().take_output();
+    let err = m.os_mut().take_error();
+    eprintln!("\n--- Figure 1 artifact (word frequencies + per-stage times) ---");
+    eprint!("{out}");
+    eprint!("{err}");
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! F3 — Figure 3: the default interactive loop is written in es.
+//!
+//! The paper's design keeps the REPL in user space (parse → eval in a
+//! `while {}` under `catch`), which costs interpretation on every
+//! prompt. This bench measures REPL throughput (commands/second
+//! through `%interactive-loop` + `%parse`) against the floor of
+//! running the same commands straight through the evaluator — i.e.
+//! what a built-in C loop would cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use es_bench::machine;
+
+fn bench_repl(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_repl");
+    group.sample_size(20);
+    for &cmds in &[10usize, 100] {
+        let session: String = (0..cmds).map(|i| format!("echo line{i}\n")).collect();
+        group.bench_with_input(
+            BenchmarkId::new("es-coded-loop", cmds),
+            &session,
+            |b, session| {
+                b.iter(|| {
+                    let mut m = machine();
+                    m.os_mut().push_input(session);
+                    let status = m.repl();
+                    assert_eq!(status, 0);
+                    m.os_mut().take_output();
+                    m.os_mut().take_error();
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("native-dispatch", cmds),
+            &session,
+            |b, session| {
+                b.iter(|| {
+                    let mut m = machine();
+                    for line in session.lines() {
+                        m.run(line).expect("line runs");
+                    }
+                    m.os_mut().take_output();
+                });
+            },
+        );
+        // The loop is a function: a user-supplied minimal loop (no
+        // catch machinery, no prompts) sits between the two.
+        group.bench_with_input(
+            BenchmarkId::new("custom-minimal-loop", cmds),
+            &session,
+            |b, session| {
+                b.iter(|| {
+                    let mut m = machine();
+                    m.run(
+                        "fn %interactive-loop {
+                            catch @ e rest { if {~ $e eof} {return 0} {throw $e $rest} } {
+                                forever { let (cmd = <>{%parse}) $cmd }
+                            }
+                        }",
+                    )
+                    .expect("custom loop installs");
+                    m.os_mut().push_input(session);
+                    let status = m.repl();
+                    assert_eq!(status, 0);
+                    m.os_mut().take_output();
+                    m.os_mut().take_error();
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_repl);
+criterion_main!(benches);

@@ -1,0 +1,130 @@
+//! The environment codec: shell state ⇄ environment strings.
+//!
+//! "The duality of functions and variables in es has made it possible
+//! to pass down function definitions to subshells. ... Since nearly
+//! all shell state can now be encoded in the environment, it becomes
+//! superfluous for a new instance of es ... to run a configuration
+//! file. Hence shell startup becomes very quick." (Experiment E5
+//! measures exactly that claim.)
+//!
+//! Encoding: list elements are joined with `\x01` (the original also
+//! used control-character separators); string terms travel raw,
+//! closure terms travel as their unparsed
+//! `%closure(a=b)@ * {echo $a}` form. Decoding parses any piece that
+//! looks like (and successfully parses as) a lambda back into a
+//! closure; everything else is a literal string.
+
+use crate::eval;
+use crate::exception::EsResult;
+use crate::machine::Machine;
+use crate::value::{self, ListBuilder, Term};
+use es_gc::Ref;
+use es_os::Os;
+use es_syntax::ast::{Expr, Node};
+
+/// List-element separator in environment strings.
+pub const SEP: char = '\u{1}';
+
+/// Variables never exported, beyond the user-controlled `$noexport`.
+const BUILTIN_NOEXPORT: &[&str] = &[
+    "*", "0", "apid", "bqstatus", "ifs", "noexport", "path", "home", "pid",
+];
+
+/// Encodes every exportable global as `NAME=value` pairs.
+pub fn build_environment<O: Os + Clone>(m: &Machine<O>) -> Vec<(String, String)> {
+    let mut skip: Vec<String> = BUILTIN_NOEXPORT.iter().map(|s| s.to_string()).collect();
+    skip.extend(m.get_var("noexport"));
+    let mut out = Vec::new();
+    for name in m.global_names() {
+        if skip.iter().any(|s| s == &name) || name.contains('=') {
+            continue;
+        }
+        let value = match m.lookup(Ref::NIL, &name) {
+            Some(v) => v,
+            None => continue,
+        };
+        out.push((name.clone(), encode_value(m, value)));
+    }
+    out
+}
+
+/// Encodes one value list as an environment string.
+pub fn encode_value<O: Os + Clone>(m: &Machine<O>, list: Ref) -> String {
+    let pieces: Vec<String> = value::read_terms(&m.heap, list)
+        .into_iter()
+        .map(|t| match t {
+            Term::Str(s) => s,
+            Term::Closure(code, bindings) => value::unparse_closure(&m.heap, &code, bindings),
+        })
+        .collect();
+    pieces.join(&SEP.to_string())
+}
+
+/// Imports the kernel's initial environment: every `NAME=value` pair
+/// becomes a global assignment *through the settor machinery*, so
+/// importing `PATH` populates `$path` via the `set-PATH` settor that
+/// `initial.es` installed.
+pub fn import_environment<O: Os + Clone>(m: &mut Machine<O>) -> EsResult<()> {
+    let pairs = m.os().initial_env();
+    for (name, encoded) in pairs {
+        if name.is_empty() || name.contains('=') {
+            continue;
+        }
+        set_from_encoded(m, &name, &encoded)?;
+    }
+    Ok(())
+}
+
+/// Assigns `name` from an encoded environment value, firing settors.
+pub fn set_from_encoded<O: Os + Clone>(
+    m: &mut Machine<O>,
+    name: &str,
+    encoded: &str,
+) -> EsResult<()> {
+    let base = m.heap.roots_len();
+    let env = m.heap.push_root(Ref::NIL);
+    let mut b = ListBuilder::new(&mut m.heap);
+    for piece in encoded.split(SEP) {
+        match decode_piece(m, piece)? {
+            Some(term_list) => {
+                let slot = m.heap.push_root(term_list);
+                b.append_slot(&mut m.heap, slot);
+                m.heap.truncate_roots(slot.index());
+            }
+            None => b.push_str(&mut m.heap, piece),
+        }
+    }
+    let value_slot = b.head_slot();
+    let transformed = eval::run_settor(m, env, name, value_slot)?;
+    m.assign_raw(Ref::NIL, name, transformed);
+    m.heap.truncate_roots(base);
+    Ok(())
+}
+
+/// Tries to decode one piece as a closure; `Ok(None)` means "treat as
+/// a literal string".
+fn decode_piece<O: Os + Clone>(m: &mut Machine<O>, piece: &str) -> EsResult<Option<Ref>> {
+    let looks_like_code = piece.starts_with("%closure(")
+        || piece.starts_with("@ ")
+        || (piece.starts_with('{') && piece.ends_with('}'));
+    if !looks_like_code {
+        return Ok(None);
+    }
+    let parsed = match es_syntax::parse_program(piece) {
+        Ok(p) => es_syntax::lower(p),
+        Err(_) => return Ok(None),
+    };
+    // Expect exactly one expression that is a lambda/closure literal.
+    let expr = match &parsed {
+        Node::Call(exprs) if exprs.len() == 1 => match &exprs[0] {
+            e @ (Expr::Lambda(_) | Expr::ClosureLit { .. }) => e.clone(),
+            _ => return Ok(None),
+        },
+        _ => return Ok(None),
+    };
+    let base = m.heap.roots_len();
+    let env = m.heap.push_root(Ref::NIL);
+    let list = eval::eval_expr(m, &expr, env, false)?;
+    m.heap.truncate_roots(base);
+    Ok(Some(list))
+}

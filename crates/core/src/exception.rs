@@ -1,0 +1,26 @@
+//! The exception mechanism.
+//!
+//! Es replaces both error reporting and non-local control flow with
+//! exceptions: `throw` raises a list whose first element names the
+//! exception, `catch` intercepts anything. `break`, `return`, and
+//! signals are all spelled as exceptions (paper, section
+//! "Exceptions"), so this type is the interpreter's only non-value
+//! control path. `Exit` is separate because nothing may catch it.
+
+use es_gc::Ref;
+
+/// The interpreter's error/unwind channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EsError {
+    /// A thrown exception: the GC list `(name arg...)`.
+    ///
+    /// The carried [`Ref`] is *not* rooted while propagating; nothing
+    /// on the unwind path allocates, and every catch site must root it
+    /// before evaluating anything.
+    Throw(Ref),
+    /// Shell exit with a status (uncatchable).
+    Exit(i32),
+}
+
+/// Interpreter result alias.
+pub type EsResult<T> = Result<T, EsError>;

@@ -1,0 +1,150 @@
+# initial.es — the es bootstrap, written in es.
+#
+# Like the original (which converted this file to a C string at compile
+# time), this script wires the shell up from the inside: every hook the
+# parser's rewriting targets is bound to its unoverridable $& primitive,
+# the traditional command names are bound, the path/PATH and home/HOME
+# settor aliases are installed, and the default interactive loop is
+# defined -- verbatim from Figure 3 of the paper.
+
+# --- hooks for the syntax rewriting ------------------------------------
+fn-%seq = $&seq
+fn-%and = $&and
+fn-%or = $&or
+fn-%not = $&not
+fn-%background = $&background
+fn-%create = $&create
+fn-%open = $&open
+fn-%append = $&append
+fn-%dup = $&dup
+fn-%close = $&close
+fn-%here = $&here
+fn-%pipe = $&pipe
+fn-%backquote = $&backquote
+fn-%pathsearch = $&pathsearch
+fn-%flatten = $&flatten
+fn-%fsplit = $&fsplit
+fn-%split = $&split
+fn-%parse = $&parse
+fn-%cd = $&cd
+
+# --- built-in shell functions -------------------------------------------
+fn-. = $&dot
+fn-break = $&break
+fn-return = $&return
+fn-catch = $&catch
+fn-throw = $&throw
+fn-if = $&if
+fn-while = $&while
+fn-forever = $&forever
+fn-result = $&result
+fn-eval = $&eval
+fn-true = $&true
+fn-false = $&false
+fn-echo = $&echo
+fn-fork = $&fork
+fn-exit = $&exit
+fn-time = $&time
+fn-wait = $&wait
+fn-whatis = $&whatis
+fn-vars = $&vars
+fn-version = $&version
+fn-primitives = $&primitives
+fn-collect = $&collect
+fn-gcstats = $&gcstats
+
+fn cd { %cd $* }
+
+# --- prompts --------------------------------------------------------------
+# The default prompt is `; ' so whole lines (prompt included) can be cut
+# and pasted back to the shell for re-execution.
+prompt = ('; ' '')
+fn-%prompt = {}
+
+# --- path/PATH aliasing (section "Initialization" of the paper) -----------
+# Each settor temporarily nulls its opposite-case cousin to avoid
+# infinite recursion between the two.
+set-path = @ {
+	local (set-PATH = ) {
+		PATH = <>{%flatten : $*}
+	}
+	return $*
+}
+set-PATH = @ {
+	local (set-path = ) {
+		path = <>{%fsplit : $*}
+	}
+	return $*
+}
+
+# --- home/HOME aliasing, same trick ----------------------------------------
+set-home = @ {
+	local (set-HOME = ) {
+		HOME = $^*
+	}
+	return $*
+}
+set-HOME = @ {
+	local (set-home = ) {
+		home = $*
+	}
+	return $*
+}
+
+# --- variables not worth exporting ------------------------------------------
+noexport = noexport prompt TERM
+
+# --- the default interactive loop (Figure 3, verbatim) -----------------------
+fn %interactive-loop {
+	let (result = 0) {
+		catch @ e msg {
+			if {~ $e eof} {
+				return $result
+			} {~ $e error} {
+				echo >[1=2] $msg
+			} {
+				echo >[1=2] uncaught exception: $e $msg
+			}
+			throw retry
+		} {
+			while {} {
+				%prompt
+				let (cmd = <>{%parse $prompt}) {
+					result = <>{$cmd}
+				}
+			}
+		}
+	}
+}
+
+# --- a small higher-order library -------------------------------------------
+# Not in the original initial.es, but exactly the programming style the
+# paper advertises: functions over functions, built from the same
+# primitives users have.
+fn apply cmd args {
+	for (i = $args) $cmd $i
+}
+fn map cmd args {
+	let (out = ) {
+		for (i = $args) {
+			out = $out <>{$cmd $i}
+		}
+		result $out
+	}
+}
+fn filter pred args {
+	let (out = ) {
+		for (i = $args) {
+			if {$pred $i} {
+				out = $out $i
+			}
+		}
+		result $out
+	}
+}
+fn fold cmd acc args {
+	for (i = $args) {
+		acc = <>{$cmd $acc $i}
+	}
+	result $acc
+}

@@ -1,0 +1,1188 @@
+//! Interpreter tests: every example in the paper, plus semantics
+//! corners.
+
+use crate::machine::{Machine, Options};
+use es_os::{Os, SimOs};
+
+fn machine() -> Machine<SimOs> {
+    Machine::new(SimOs::new()).expect("machine boots")
+}
+
+/// Runs `src` and returns captured stdout.
+fn output(m: &mut Machine<SimOs>, src: &str) -> String {
+    m.run(src).unwrap_or_else(|e| panic!("`{src}` failed: {e}"));
+    m.os_mut().take_output()
+}
+
+/// Runs `src` and returns the command's value as strings.
+fn val(m: &mut Machine<SimOs>, src: &str) -> Vec<String> {
+    m.run(src).unwrap_or_else(|e| panic!("`{src}` failed: {e}"))
+}
+
+#[test]
+fn boot_runs_initial_es() {
+    let m = machine();
+    // The hooks are bound...
+    assert_eq!(m.get_var("fn-%create"), vec!["$&create"]);
+    assert_eq!(m.get_var("fn-%pipe"), vec!["$&pipe"]);
+    // ...and the PATH import fired the settor, populating $path.
+    assert_eq!(m.get_var("path"), vec!["/bin", "/usr/bin"]);
+    assert_eq!(m.get_var("PATH"), vec!["/bin:/usr/bin"]);
+    assert_eq!(m.get_var("home"), vec!["/home/user"]);
+}
+
+#[test]
+fn echo_builtin() {
+    let mut m = machine();
+    assert_eq!(output(&mut m, "echo hello, world"), "hello, world\n");
+    assert_eq!(output(&mut m, "echo -n x"), "x");
+}
+
+#[test]
+fn external_commands_run() {
+    let mut m = machine();
+    assert_eq!(output(&mut m, "/bin/echo direct"), "direct\n");
+    // Via %pathsearch.
+    assert_eq!(output(&mut m, "pwd"), "/home/user\n");
+    let err = m.run("no-such-cmd").unwrap_err();
+    assert!(err.contains("no-such-cmd: command not found"), "{err}");
+}
+
+#[test]
+fn simple_pipeline_and_redirection() {
+    let mut m = machine();
+    assert_eq!(output(&mut m, "echo hi | wc -l"), format!("{:7}\n", 1));
+    m.run("echo stored > /tmp/f").unwrap();
+    assert_eq!(output(&mut m, "cat /tmp/f"), "stored\n");
+    m.run("echo more >> /tmp/f").unwrap();
+    assert_eq!(output(&mut m, "cat < /tmp/f"), "stored\nmore\n");
+}
+
+#[test]
+fn intro_example_kill_pipeline() {
+    // ps aux | grep '^byron' | awk '{print $2}' | xargs kill -9
+    let mut m = machine();
+    m.run("ps aux | grep '^byron' | awk '{print $2}' | xargs kill -9")
+        .unwrap();
+    let out = output(&mut m, "ps aux");
+    assert!(!out.contains("byron"), "byron processes killed:\n{out}");
+}
+
+// --------------------------------------------------------------------------
+// Functions, lambdas, scoping (paper sections "Functions", "Binding").
+// --------------------------------------------------------------------------
+
+#[test]
+fn fn_d_prints_date() {
+    let mut m = machine();
+    m.run("fn d { date +%y-%m-%d }").unwrap();
+    assert_eq!(output(&mut m, "d"), "93-01-25\n");
+}
+
+#[test]
+fn apply_with_leftover_args() {
+    let mut m = machine();
+    m.run("fn apply cmd args { for (i = $args) $cmd $i }").unwrap();
+    assert_eq!(
+        output(&mut m, "apply echo testing 1.. 2.. 3.."),
+        "testing\n1..\n2..\n3..\n"
+    );
+}
+
+#[test]
+fn rev3_parameter_binding() {
+    let mut m = machine();
+    m.run("fn rev3 a b c { echo $c $b $a }").unwrap();
+    // Leftovers to the last parameter.
+    assert_eq!(output(&mut m, "rev3 1 2 3 4 5"), "3 4 5 2 1\n");
+    // Missing parameters are null.
+    assert_eq!(output(&mut m, "rev3 1"), "1\n");
+}
+
+#[test]
+fn lambda_applied_inline() {
+    let mut m = machine();
+    m.os_mut().vfs_mut().put_file("/tmp/x1", b"").unwrap();
+    m.os_mut().vfs_mut().put_file("/usr/tmp/x2", b"").unwrap();
+    m.run("fn apply cmd args { for (i = $args) $cmd $i }").unwrap();
+    m.run("apply @ i {cd $i; rm -f *} /tmp /usr/tmp").unwrap();
+    assert!(!m.os().is_file("/tmp/x1"), "files in /tmp removed");
+    assert!(!m.os().is_file("/usr/tmp/x2"), "files in /usr/tmp removed");
+    // Lexical scoping: the lambda's `i` did not leak.
+    assert_eq!(m.get_var("i"), Vec::<String>::new());
+    // And the shell did not actually change directory (cd in the
+    // lambda... actually it did — es has no implicit subshell).
+    assert_eq!(m.os().cwd(), "/usr/tmp");
+}
+
+#[test]
+fn fn_is_sugar_for_fn_variable() {
+    let mut m = machine();
+    m.run("fn echon args {echo -n $args}").unwrap();
+    let v1 = m.get_var("fn-echon");
+    let mut m2 = machine();
+    m2.run("fn-echon = @ args {echo -n $args}").unwrap();
+    assert_eq!(v1, m2.get_var("fn-echon"));
+    assert_eq!(output(&mut m, "echon a b"), "a b");
+}
+
+#[test]
+fn dollar_deref_runs_fragment() {
+    let mut m = machine();
+    m.run("silly-command = {echo hi}").unwrap();
+    assert_eq!(output(&mut m, "$silly-command"), "hi\n");
+}
+
+#[test]
+fn mixed_list_of_fragments_and_strings() {
+    let mut m = machine();
+    m.run("mixed = {ls} hello, {wc} world").unwrap();
+    assert_eq!(output(&mut m, "echo $mixed(2) $mixed(4)"), "hello, world\n");
+    // $mixed(1) | $mixed(3) — a pipeline of closures from a variable.
+    let out = output(&mut m, "cd /; $mixed(1) | $mixed(3)");
+    let nums: Vec<&str> = out.split_whitespace().collect();
+    assert_eq!(nums.len(), 3, "wc prints lines words bytes: {out}");
+}
+
+#[test]
+fn let_lexical_binding() {
+    let mut m = machine();
+    m.run("x = foo").unwrap();
+    assert_eq!(output(&mut m, "let (x = bar) { echo $x }"), "bar\n");
+    assert_eq!(m.get_var("x"), vec!["foo"]);
+}
+
+#[test]
+fn closures_capture_lexical_scope() {
+    // The paper's hi = { echo $h, $w } example.
+    let mut m = machine();
+    m.run("let (h=hello; w=world) { hi = { echo $h, $w } }").unwrap();
+    assert_eq!(output(&mut m, "$hi"), "hello, world\n");
+}
+
+#[test]
+fn lexical_vs_dynamic_binding() {
+    // The paper's `lexical` vs `dynamic` example, verbatim.
+    let mut m = machine();
+    m.run("x = foo").unwrap();
+    let out = output(&mut m, "let (x = bar) { echo $x; fn lexical { echo $x } }");
+    assert_eq!(out, "bar\n");
+    assert_eq!(output(&mut m, "lexical"), "bar\n");
+    let out = output(&mut m, "local (x = baz) { echo $x; fn dynamic { echo $x } }");
+    assert_eq!(out, "baz\n");
+    assert_eq!(output(&mut m, "dynamic"), "foo\n");
+}
+
+#[test]
+fn lexical_assignment_mutates_shared_binding() {
+    // Two closures sharing a frame see each other's assignments.
+    let mut m = machine();
+    m.run("let (n = 0) { fn bump { n = 1 }; fn show { echo $n } }")
+        .unwrap();
+    assert_eq!(output(&mut m, "show"), "0\n");
+    m.run("bump").unwrap();
+    assert_eq!(output(&mut m, "show"), "1\n");
+}
+
+#[test]
+fn trace_redefines_functions() {
+    // The paper's trace + echo-nl example.
+    let mut m = machine();
+    m.run(
+        "fn trace functions {
+            for (func = $functions)
+                let (old = $(fn-$func))
+                    fn $func args {
+                        echo calling $func $args
+                        $old $args
+                    }
+        }",
+    )
+    .unwrap();
+    m.run(
+        "fn echo-nl head tail {
+            if {!~ $#head 0} {
+                echo $head
+                echo-nl $tail
+            }
+        }",
+    )
+    .unwrap();
+    assert_eq!(output(&mut m, "echo-nl a b c"), "a\nb\nc\n");
+    m.run("trace echo-nl").unwrap();
+    assert_eq!(
+        output(&mut m, "echo-nl a b c"),
+        "calling echo-nl a b c\na\ncalling echo-nl b c\nb\ncalling echo-nl c\nc\ncalling echo-nl\n"
+    );
+}
+
+// --------------------------------------------------------------------------
+// Settor variables.
+// --------------------------------------------------------------------------
+
+#[test]
+fn watch_settor_example() {
+    let mut m = machine();
+    m.run(
+        "fn watch vars {
+            for (var = $vars) {
+                set-$var = @ {
+                    echo old $var '=' $$var
+                    echo new $var '=' $*
+                    return $*
+                }
+            }
+        }",
+    )
+    .unwrap();
+    m.run("watch x").unwrap();
+    assert_eq!(
+        output(&mut m, "x=foo bar"),
+        "old x =\nnew x = foo bar\n"
+    );
+    assert_eq!(output(&mut m, "x=fubar"), "old x = foo bar\nnew x = fubar\n");
+    assert_eq!(m.get_var("x"), vec!["fubar"]);
+}
+
+#[test]
+fn path_settors_stay_in_sync() {
+    let mut m = machine();
+    m.run("path = /bin /tmp").unwrap();
+    assert_eq!(m.get_var("PATH"), vec!["/bin:/tmp"]);
+    m.run("PATH = /usr/bin:/bin").unwrap();
+    assert_eq!(m.get_var("path"), vec!["/usr/bin", "/bin"]);
+}
+
+// --------------------------------------------------------------------------
+// Rich return values (paper section "Return Values").
+// --------------------------------------------------------------------------
+
+#[test]
+fn hello_world_return() {
+    let mut m = machine();
+    m.run("fn hello-world { return 'hello, world' }").unwrap();
+    assert_eq!(output(&mut m, "echo <>{hello-world}"), "hello, world\n");
+}
+
+#[test]
+fn cons_car_cdr() {
+    // Closures as data: the paper's hierarchical-list example.
+    let mut m = machine();
+    m.run("fn cons a d { return @ f { $f $a $d } }").unwrap();
+    m.run("fn car p { $p @ a d { return $a } }").unwrap();
+    m.run("fn cdr p { $p @ a d { return $d } }").unwrap();
+    assert_eq!(
+        output(
+            &mut m,
+            "echo <>{car <>{cdr <>{cons 1 <>{cons 2 <>{cons 3 nil}}}}}"
+        ),
+        "2\n"
+    );
+}
+
+#[test]
+fn external_status_as_value() {
+    let mut m = machine();
+    assert_eq!(val(&mut m, "true"), vec!["0"]);
+    assert_eq!(val(&mut m, "false"), vec!["1"]);
+    assert_eq!(val(&mut m, "result a b c"), vec!["a", "b", "c"]);
+}
+
+// --------------------------------------------------------------------------
+// Exceptions (paper section "Exceptions").
+// --------------------------------------------------------------------------
+
+#[test]
+fn throw_and_catch_error() {
+    let mut m = machine();
+    m.run(
+        "fn in dir cmd {
+            if {~ $#dir 0} {
+                throw error 'usage: in dir cmd'
+            }
+            catch @ e msg {
+                if {~ $e error} {
+                    echo >[1=2] in $dir: $msg
+                } {
+                    throw $e $msg
+                }
+            } {
+                cd $dir
+                $cmd
+            }
+        }",
+    )
+    .unwrap();
+    // Usage error propagates.
+    let err = m.run("in").unwrap_err();
+    assert_eq!(err, "error usage: in dir cmd");
+    // Successful use.
+    m.os_mut().vfs_mut().put_file("/tmp/webster.socket", b"").unwrap();
+    assert_eq!(output(&mut m, "in /tmp ls"), "webster.socket\n");
+    // Failure: the handler reformats the message, like the paper's
+    // `in /temp: chdir /temp: No such file or directory`.
+    m.run("in /temp ls").unwrap();
+    let err_out = m.os_mut().take_error();
+    assert_eq!(err_out, "in /temp: chdir /temp: No such file or directory\n");
+}
+
+#[test]
+fn catch_passes_body_value_through() {
+    let mut m = machine();
+    assert_eq!(val(&mut m, "catch @ e {echo handler} {result ok}"), vec!["ok"]);
+}
+
+#[test]
+fn retry_reruns_body() {
+    let mut m = machine();
+    m.run("tries = 0").unwrap();
+    let out = val(
+        &mut m,
+        "catch @ e {
+            throw retry
+        } {
+            tries = <>{%flatten '' $tries x}
+            if {!~ $tries 0xxx} {throw again}
+            result $tries
+        }",
+    );
+    assert_eq!(out, vec!["0xxx"], "the body was retried until it succeeded");
+}
+
+#[test]
+fn break_exits_loops() {
+    let mut m = machine();
+    assert_eq!(
+        output(
+            &mut m,
+            "for (i = 1 2 3 4 5) { if {~ $i 3} {break}; echo $i }"
+        ),
+        "1\n2\n"
+    );
+    assert_eq!(
+        output(
+            &mut m,
+            "n = a; while {!~ $n aaaa} { n = $n^a; if {~ $n aaa} {break}; echo $n }"
+        ),
+        "aa\n"
+    );
+}
+
+#[test]
+fn return_exits_function_not_if() {
+    let mut m = machine();
+    m.run("fn f { if {true} { return early }; echo not-reached }")
+        .unwrap();
+    assert_eq!(val(&mut m, "result <>{f}"), vec!["early"]);
+    assert_eq!(m.os_mut().take_output(), "");
+}
+
+#[test]
+fn uncaught_exception_reported() {
+    let mut m = machine();
+    let err = m.run("throw custom a b").unwrap_err();
+    assert_eq!(err, "custom a b");
+}
+
+#[test]
+fn signal_becomes_exception() {
+    let mut m = machine();
+    m.os_mut().raise_signal(es_os::Signal::Int);
+    let err = m.run("echo never").unwrap_err();
+    assert_eq!(err, "signal sigint");
+    // Catchable like any exception: the body interrupts itself (kill
+    // targets the shell's own pid) and the next command's signal poll
+    // turns it into a throw inside the catch body.
+    assert_eq!(
+        val(&mut m, "catch @ e {result caught $e} {kill -2 5000; echo hi}"),
+        vec!["caught", "signal", "sigint"]
+    );
+}
+
+// --------------------------------------------------------------------------
+// Spoofing (paper section "Spoofing").
+// --------------------------------------------------------------------------
+
+#[test]
+fn noclobber_create_spoof() {
+    let mut m = machine();
+    m.run(
+        "let (create = $fn-%create)
+            fn %create fd file cmd {
+                if {test -f $file} {
+                    throw error $file exists
+                } {
+                    $create $fd $file $cmd
+                }
+            }",
+    )
+    .unwrap();
+    m.run("echo first > /tmp/noclob").unwrap();
+    assert_eq!(output(&mut m, "cat /tmp/noclob"), "first\n");
+    let err = m.run("echo second > /tmp/noclob").unwrap_err();
+    assert_eq!(err, "error /tmp/noclob exists");
+    assert_eq!(output(&mut m, "cat /tmp/noclob"), "first\n", "unclobbered");
+    // The underlying primitive is still reachable.
+    m.run("$&create 1 /tmp/noclob {echo forced}").unwrap();
+    assert_eq!(output(&mut m, "cat /tmp/noclob"), "forced\n");
+}
+
+#[test]
+fn cd_title_spoof() {
+    let mut m = machine();
+    // `title` is hypothetical in the paper; fake it with a variable.
+    m.run("fn title { last-title = $* }").unwrap();
+    m.run(
+        "let (cd = $fn-cd)
+            fn cd {
+                $cd $*
+                title `{pwd}
+            }",
+    )
+    .unwrap();
+    m.run("cd /tmp").unwrap();
+    assert_eq!(m.os().cwd(), "/tmp");
+    assert_eq!(m.get_var("last-title"), vec!["/tmp"]);
+}
+
+#[test]
+fn figure1_pipe_timing_spoof() {
+    let mut m = machine();
+    let text = "the a the b the a to of is and the a to to a of\n".repeat(16);
+    m.os_mut()
+        .vfs_mut()
+        .put_file("/home/user/paper9", text.as_bytes())
+        .unwrap();
+    m.run(
+        "let (pipe = $fn-%pipe) {
+            fn %pipe first out in rest {
+                if {~ $#out 0} {
+                    time $first
+                } {
+                    $pipe {time $first} $out $in {%pipe $rest}
+                }
+            }
+        }",
+    )
+    .unwrap();
+    m.run("cat paper9 | tr -cs a-zA-Z0-9 '\\012' | sort | uniq -c | sort -nr | sed 6q")
+        .unwrap();
+    let out = m.os_mut().take_output();
+    let err = m.os_mut().take_error();
+    // Output: six word-frequency lines, most frequent first.
+    let lines: Vec<&str> = out.lines().collect();
+    assert_eq!(lines.len(), 6, "out: {out}");
+    assert!(lines[0].trim().starts_with("64"), "the: {}", lines[0]);
+    assert!(lines[0].ends_with("the"));
+    // Stderr: one timing line per pipeline stage, like Figure 1.
+    let timings: Vec<&str> = err.lines().collect();
+    assert_eq!(timings.len(), 6, "err: {err}");
+    assert!(timings.iter().any(|l| l.contains("cat paper9")), "{err}");
+    assert!(timings.iter().any(|l| l.contains("sed 6q")), "{err}");
+    for l in &timings {
+        assert!(l.contains('r') && l.contains('u') && l.contains('s'), "{l}");
+    }
+}
+
+#[test]
+fn figure2_pathsearch_cache() {
+    let mut m = machine();
+    m.run(
+        "let (search = $fn-%pathsearch) {
+            fn %pathsearch prog {
+                let (file = <>{$search $prog}) {
+                    if {~ $#file 1 && ~ $file /*} {
+                        path-cache = $path-cache $prog
+                        fn-$prog = $file
+                    }
+                    return $file
+                }
+            }
+        }
+        fn recache {
+            for (i = $path-cache)
+                fn-$i =
+            path-cache =
+        }",
+    )
+    .unwrap();
+    assert_eq!(m.get_var("fn-ls"), Vec::<String>::new());
+    assert_eq!(output(&mut m, "ls /tmp"), "");
+    // The lookup was cached.
+    assert_eq!(m.get_var("fn-ls"), vec!["/bin/ls"]);
+    assert_eq!(m.get_var("path-cache"), vec!["ls"]);
+    // Cached invocation still works.
+    m.os_mut().vfs_mut().put_file("/tmp/seen", b"").unwrap();
+    assert_eq!(output(&mut m, "ls /tmp"), "seen\n");
+    // recache flushes.
+    m.run("recache").unwrap();
+    assert_eq!(m.get_var("fn-ls"), Vec::<String>::new());
+    assert_eq!(m.get_var("path-cache"), Vec::<String>::new());
+}
+
+// --------------------------------------------------------------------------
+// Figure 3: the interactive loop, driven through the REPL.
+// --------------------------------------------------------------------------
+
+#[test]
+fn repl_runs_commands_and_reports_errors() {
+    let mut m = machine();
+    m.os_mut().push_input("echo one\nbogus-cmd\necho two\n");
+    let status = m.repl();
+    assert_eq!(status, 0, "last command succeeded");
+    assert_eq!(m.os_mut().take_output(), "one\ntwo\n");
+    let err = m.os_mut().take_error();
+    assert!(
+        err.contains("bogus-cmd: command not found"),
+        "error printed, loop retried: {err}"
+    );
+    assert!(err.contains("; "), "prompts printed on stderr: {err}");
+}
+
+#[test]
+fn repl_multiline_commands_use_prompt2() {
+    let mut m = machine();
+    m.run("prompt = ('; ' '.. ')").unwrap();
+    m.os_mut().push_input("echo {\nnested\n}\n");
+    // `echo {` is incomplete; %parse keeps reading with prompt2.
+    let status = m.repl();
+    assert_eq!(status, 0);
+    let out = m.os_mut().take_output();
+    assert!(out.contains("{nested}"), "closure printed: {out}");
+    let err = m.os_mut().take_error();
+    assert!(err.contains(".. "), "continuation prompt shown: {err}");
+}
+
+#[test]
+fn repl_loop_is_spoofable() {
+    // The whole interactive loop is just a function; replace it.
+    let mut m = machine();
+    m.run("fn %interactive-loop { echo custom loop; result 7 }").unwrap();
+    m.os_mut().push_input("ignored\n");
+    let status = m.repl();
+    assert_eq!(m.os_mut().take_output(), "custom loop\n");
+    assert_eq!(status, 1, "value 7 is false in es terms");
+}
+
+#[test]
+fn repl_exit_status_propagates() {
+    let mut m = machine();
+    m.os_mut().push_input("exit 3\necho never\n");
+    assert_eq!(m.repl(), 3);
+    assert_eq!(m.os_mut().take_output(), "");
+}
+
+// --------------------------------------------------------------------------
+// The environment (paper section "The Environment").
+// --------------------------------------------------------------------------
+
+#[test]
+fn whatis_shows_closure_encoding() {
+    let mut m = machine();
+    m.run("let (a = b) fn foo { echo $a }").unwrap();
+    assert_eq!(
+        output(&mut m, "whatis foo"),
+        "%closure(a=b)@ * {echo $a}\n"
+    );
+}
+
+#[test]
+fn functions_travel_through_environment() {
+    let mut m = machine();
+    m.run("fn greet who { echo hello, $who }").unwrap();
+    m.run("let (a = captured) fn closed { echo $a }").unwrap();
+    m.run("plain = some value").unwrap();
+    let env = crate::env::build_environment(&m);
+    // Boot a child shell from that environment: no rc files, full state.
+    let mut child_os = SimOs::new();
+    child_os.set_initial_env(env.clone());
+    let mut child = Machine::new(child_os).expect("child boots");
+    assert_eq!(child.get_var("plain"), vec!["some", "value"]);
+    child.run("greet world").unwrap();
+    child.run("closed").unwrap();
+    assert_eq!(child.os_mut().take_output(), "hello, world\ncaptured\n");
+}
+
+#[test]
+fn lexical_sharing_lost_across_environment() {
+    // The paper: two functions defined in the same scope share the
+    // binding in the parent, but the connection is lost when they are
+    // exported in separate environment strings.
+    let mut m = machine();
+    m.run("let (n = 0) { fn bump { n = bumped }; fn show { echo $n } }")
+        .unwrap();
+    m.run("bump").unwrap();
+    assert_eq!(output(&mut m, "show"), "bumped\n");
+    let env = crate::env::build_environment(&m);
+    let mut child_os = SimOs::new();
+    child_os.set_initial_env(env);
+    let mut child = Machine::new(child_os).expect("child boots");
+    child.run("bump").unwrap();
+    assert_eq!(
+        output(&mut child, "show"),
+        "bumped\n",
+        "child imported the already-bumped value"
+    );
+    // But now the scopes are separate: re-import shows the values are
+    // snapshots, not shared bindings... demonstrate by bumping to a
+    // new value in the child's `bump` and observing `show` UNchanged.
+    child.run("let (x = 1) { fn bump2 { x = 2 }; fn show2 { echo $x } }").unwrap();
+    let env2 = crate::env::build_environment(&child);
+    let mut gchild_os = SimOs::new();
+    gchild_os.set_initial_env(env2);
+    let mut gchild = Machine::new(gchild_os).expect("grandchild boots");
+    gchild.run("bump2").unwrap();
+    assert_eq!(
+        output(&mut gchild, "show2"),
+        "1\n",
+        "bump2 and show2 no longer share a frame after env transit"
+    );
+}
+
+#[test]
+fn fork_isolates_shell_state() {
+    let mut m = machine();
+    m.run("x = parent").unwrap();
+    m.run("fork {x = child; echo in child $x}").unwrap();
+    assert_eq!(m.os_mut().take_output(), "in child child\n");
+    assert_eq!(m.get_var("x"), vec!["parent"], "fork isolated the assignment");
+    // cd in the child does not move the parent...
+    m.run("fork {cd /tmp}").unwrap();
+    assert_eq!(m.os().cwd(), "/home/user");
+    // ...but file writes are shared (one filesystem).
+    m.run("fork {echo shared > /tmp/from-child}").unwrap();
+    assert_eq!(output(&mut m, "cat /tmp/from-child"), "shared\n");
+}
+
+#[test]
+fn subshell_exception_prints_and_returns_false() {
+    let mut m = machine();
+    let v = val(&mut m, "fork {throw error oops}");
+    assert_eq!(v, vec!["1"], "false status from subshell exception");
+    let err = m.os_mut().take_error();
+    assert!(err.contains("oops"), "{err}");
+}
+
+// --------------------------------------------------------------------------
+// Word/list semantics.
+// --------------------------------------------------------------------------
+
+#[test]
+fn list_flattening_and_concat() {
+    let mut m = machine();
+    m.run("l = a b c").unwrap();
+    assert_eq!(val(&mut m, "result $l^x"), vec!["ax", "bx", "cx"]);
+    assert_eq!(val(&mut m, "result x^$l"), vec!["xa", "xb", "xc"]);
+    m.run("r = 1 2 3").unwrap();
+    assert_eq!(val(&mut m, "result $l^$r"), vec!["a1", "b2", "c3"]);
+    let err = m.run("result $l^(1 2)").unwrap_err();
+    assert!(err.contains("bad concatenation"), "{err}");
+    assert_eq!(val(&mut m, "result $^l"), vec!["a b c"]);
+    assert_eq!(val(&mut m, "result $#l"), vec!["3"]);
+}
+
+#[test]
+fn subscripts() {
+    let mut m = machine();
+    m.run("l = a b c d").unwrap();
+    assert_eq!(val(&mut m, "result $l(2)"), vec!["b"]);
+    assert_eq!(val(&mut m, "result $l(4 1)"), vec!["d", "a"]);
+    assert_eq!(val(&mut m, "result $l(9)"), Vec::<String>::new());
+}
+
+#[test]
+fn double_deref() {
+    let mut m = machine();
+    m.run("name = target; target = hit").unwrap();
+    assert_eq!(val(&mut m, "result $$name"), vec!["hit"]);
+}
+
+#[test]
+fn computed_deref_with_parens() {
+    let mut m = machine();
+    m.run("fn-thing = {result found}").unwrap();
+    m.run("which = thing").unwrap();
+    assert_eq!(val(&mut m, "result $(fn-$which)"), vec!["{result found}"]);
+}
+
+#[test]
+fn glob_expansion() {
+    let mut m = machine();
+    for f in ["/tmp/Ex1", "/tmp/Ex2", "/tmp/other", "/tmp/.hidden"] {
+        m.os_mut().vfs_mut().put_file(f, b"").unwrap();
+    }
+    m.run("cd /tmp").unwrap();
+    assert_eq!(val(&mut m, "result Ex*"), vec!["Ex1", "Ex2"]);
+    assert_eq!(val(&mut m, "result *"), vec!["Ex1", "Ex2", "other"]);
+    assert_eq!(val(&mut m, "result .h*"), vec![".hidden"]);
+    assert_eq!(val(&mut m, "result '*'"), vec!["*"], "quoted star is literal");
+    assert_eq!(val(&mut m, "result /tmp/E?1"), vec!["/tmp/Ex1"]);
+    assert_eq!(val(&mut m, "result nomatch*"), vec!["nomatch*"]);
+    m.run("rm Ex*").unwrap();
+    assert_eq!(val(&mut m, "result *"), vec!["other"]);
+}
+
+#[test]
+fn match_command() {
+    let mut m = machine();
+    assert_eq!(val(&mut m, "~ foo foo"), vec!["0"]);
+    assert_eq!(val(&mut m, "~ foo bar"), vec!["1"]);
+    assert_eq!(val(&mut m, "~ /bin/ls /*"), vec!["0"]);
+    assert_eq!(val(&mut m, "~ (a b c) b"), vec!["0"]);
+    assert_eq!(val(&mut m, "~ () ()"), vec!["0"]);
+    assert_eq!(val(&mut m, "~ x a b x"), vec!["0"]);
+    assert_eq!(val(&mut m, "!~ foo f*"), vec!["1"]);
+}
+
+#[test]
+fn backquote_splits_on_ifs() {
+    let mut m = machine();
+    assert_eq!(val(&mut m, "result `{echo a b; echo c}"), vec!["a", "b", "c"]);
+    m.run("ifs = ':'").unwrap();
+    assert_eq!(val(&mut m, "result `{echo -n a:b:c}"), vec!["a", "b", "c"]);
+}
+
+#[test]
+fn multi_assignment() {
+    let mut m = machine();
+    m.run("(a b) = 1 2 3").unwrap();
+    assert_eq!(m.get_var("a"), vec!["1"]);
+    assert_eq!(m.get_var("b"), vec!["2", "3"]);
+}
+
+#[test]
+fn heredoc() {
+    let mut m = machine();
+    assert_eq!(output(&mut m, "cat << 'l1\nl2\n'"), "l1\nl2\n");
+}
+
+#[test]
+fn dup_redirect_to_stderr() {
+    let mut m = machine();
+    m.run("echo oops >[1=2]").unwrap();
+    assert_eq!(m.os_mut().take_output(), "");
+    assert_eq!(m.os_mut().take_error(), "oops\n");
+}
+
+#[test]
+fn dot_sources_scripts() {
+    let mut m = machine();
+    m.os_mut()
+        .vfs_mut()
+        .put_file("/home/user/script.es", b"echo script ran with $*\nscript-var = set\n")
+        .unwrap();
+    m.run(". script.es one two").unwrap();
+    assert_eq!(m.os_mut().take_output(), "script ran with one two\n");
+    assert_eq!(m.get_var("script-var"), vec!["set"]);
+}
+
+#[test]
+fn eval_command() {
+    let mut m = machine();
+    m.run("cmd = echo; arg = built").unwrap();
+    assert_eq!(output(&mut m, "eval $cmd $arg up"), "built up\n");
+}
+
+// --------------------------------------------------------------------------
+// Tail calls (paper "Future Work"; experiment E6).
+// --------------------------------------------------------------------------
+
+#[test]
+fn tail_calls_do_not_grow_depth() {
+    let mut m = machine();
+    m.run("fn loop n { if {~ $n xxxxx} {result done} {loop $n^x} }")
+        .unwrap();
+    m.max_depth_seen = 0;
+    assert_eq!(val(&mut m, "result <>{loop ''}"), vec!["done"]);
+    assert!(
+        m.max_depth_seen <= 3,
+        "tail-recursive loop ran in constant depth, saw {}",
+        m.max_depth_seen
+    );
+}
+
+#[test]
+fn naive_mode_grows_depth() {
+    let mut os = SimOs::new();
+    os.set_initial_env(vec![("PATH".into(), "/bin".into())]);
+    let mut m = Machine::with_options(
+        os,
+        Options {
+            tail_calls: false,
+            max_depth: 64,
+            interactive: false,
+        },
+    )
+    .expect("machine boots");
+    m.run("fn loop n { if {~ $n xxxxxxxxxx} {result done} {loop $n^x} }")
+        .unwrap();
+    m.max_depth_seen = 0;
+    m.run("loop ''").unwrap();
+    assert!(
+        m.max_depth_seen >= 10,
+        "naive mode consumed stack per call: {}",
+        m.max_depth_seen
+    );
+    // And deep recursion exhausts the stack, as the paper laments.
+    m.run("fn deep n { if {~ $#n 400} {result done} {deep $n $n(1)} }")
+        .unwrap();
+    // (the interpreter's depth guard converts the would-be crash into
+    // an error exception well before the real stack runs out)
+    let err = m.run("deep seed").unwrap_err();
+    assert!(err.contains("recursion"), "{err}");
+}
+
+// --------------------------------------------------------------------------
+// Garbage collection behaviours visible from the shell.
+// --------------------------------------------------------------------------
+
+#[test]
+fn gc_survives_shell_workload() {
+    let mut m = machine();
+    m.heap.set_stress(true);
+    m.run("fn mk n { return @ { result $n } }").unwrap();
+    m.run("fns = <>{mk 1} <>{mk 2} <>{mk 3}").unwrap();
+    assert_eq!(val(&mut m, "$fns(2)"), vec!["2"]);
+    m.heap.set_stress(false);
+    assert!(m.heap.stats().collections > 100, "stress mode collected");
+}
+
+#[test]
+fn gc_collect_primitive_and_stats() {
+    let mut m = machine();
+    m.run("collect").unwrap();
+    let stats = val(&mut m, "result <>{gcstats}");
+    assert!(stats.contains(&"collections".to_string()));
+    let n_before = m.heap.stats().collections;
+    m.run("for (i = 1 2 3 4 5) { x = $i; collect }").unwrap();
+    assert!(m.heap.stats().collections >= n_before + 5);
+}
+
+#[test]
+fn cyclic_closures_are_collected() {
+    let mut m = machine();
+    // A closure that references itself through a lexical binding.
+    m.run("let (self = ) { self = @ { result $self }; cyc = $self }")
+        .unwrap();
+    let live_with = {
+        m.heap.collect();
+        m.heap.stats().live_after_last
+    };
+    m.run("cyc =").unwrap();
+    m.heap.collect();
+    let live_without = m.heap.stats().live_after_last;
+    assert!(
+        live_without < live_with,
+        "cycle reclaimed: {live_with} -> {live_without}"
+    );
+}
+
+// --------------------------------------------------------------------------
+// Background jobs and time.
+// --------------------------------------------------------------------------
+
+#[test]
+fn background_sets_apid() {
+    let mut m = machine();
+    m.run("echo bg &").unwrap();
+    assert_eq!(m.os_mut().take_output(), "bg\n");
+    assert_eq!(m.get_var("apid"), vec!["9001"]);
+}
+
+#[test]
+fn time_reports_child_usage() {
+    let mut m = machine();
+    m.run("time cat /etc/motd").unwrap();
+    let err = m.os_mut().take_error();
+    assert!(err.contains("cat /etc/motd"), "{err}");
+    assert!(err.contains('u') && err.contains('s'), "{err}");
+}
+
+#[test]
+fn whatis_falls_back_to_path() {
+    let mut m = machine();
+    assert_eq!(output(&mut m, "whatis ls"), "/bin/ls\n");
+}
+
+// --------------------------------------------------------------------------
+// The %glob hook — the paper's "future work" on exposing wildcard
+// expansion, implemented as an extension.
+// --------------------------------------------------------------------------
+
+#[test]
+fn glob_hook_spoofs_wildcard_expansion() {
+    let mut m = machine();
+    for f in ["/tmp/a.c", "/tmp/b.c"] {
+        m.os_mut().vfs_mut().put_file(f, b"").unwrap();
+    }
+    m.run("cd /tmp").unwrap();
+    // Native behaviour first.
+    assert_eq!(val(&mut m, "result *.c"), vec!["a.c", "b.c"]);
+    // Replace expansion wholesale: uppercase every match.
+    m.run("fn %glob pat { result SPOOFED $pat }").unwrap();
+    assert_eq!(val(&mut m, "result *.c"), vec!["SPOOFED", "*.c"]);
+    // Remove the spoof: native expansion returns.
+    m.run("fn-%glob =").unwrap();
+    assert_eq!(val(&mut m, "result *.c"), vec!["a.c", "b.c"]);
+}
+
+#[test]
+fn glob_hook_can_wrap_native_expansion() {
+    // A useful spoof: log every expansion but keep the result by
+    // delegating to ls-style matching via the native path (the hook
+    // removes itself during the nested expansion).
+    let mut m = machine();
+    for f in ["/tmp/x1", "/tmp/x2"] {
+        m.os_mut().vfs_mut().put_file(f, b"").unwrap();
+    }
+    m.run("cd /tmp").unwrap();
+    m.run(
+        "fn %glob pat {
+            glob-log = $glob-log $pat
+            local (fn-%glob = ) {
+                result <>{eval result $pat}
+            }
+        }",
+    )
+    .unwrap();
+    assert_eq!(val(&mut m, "result x*"), vec!["x1", "x2"]);
+    assert_eq!(m.get_var("glob-log"), vec!["x*"]);
+}
+
+#[test]
+fn expr_enables_arithmetic_in_es() {
+    let mut m = machine();
+    m.run("fn add a b { result `{expr $a + $b} }").unwrap();
+    assert_eq!(val(&mut m, "result <>{add 17 25}"), vec!["42"]);
+    // A counting loop in classic Bourne style.
+    m.run("n = 0").unwrap();
+    m.run("while {~ `{expr $n '<' 5} 1} { n = `{expr $n + 1} }").unwrap();
+    assert_eq!(m.get_var("n"), vec!["5"]);
+}
+
+// --------------------------------------------------------------------------
+// Additional semantic corners.
+// --------------------------------------------------------------------------
+
+#[test]
+fn return_transparent_through_bare_blocks() {
+    // A bare {block} is not a return boundary; function forms are.
+    let mut m = machine();
+    m.run("fn f { { return inner }; result after }").unwrap();
+    assert_eq!(val(&mut m, "result <>{f}"), vec!["inner"]);
+    // But an @-form lambda IS a boundary.
+    m.run("fn g { dispatch = @ { return from-lambda }; $dispatch; result after }")
+        .unwrap();
+    assert_eq!(val(&mut m, "result <>{g}"), vec!["after"]);
+}
+
+#[test]
+fn dollar_zero_and_star() {
+    let mut m = machine();
+    m.run("fn who { echo name: $0, args: $* }").unwrap();
+    assert_eq!(output(&mut m, "who a b"), "name: who, args: a b\n");
+    // $* stays visible inside nested control flow.
+    m.run("fn v { if {true} { echo $* } }").unwrap();
+    assert_eq!(output(&mut m, "v x y"), "x y\n");
+    // And inside while bodies.
+    m.run("fn w { once = yes; while {~ $once yes} { once = no; echo $* } }")
+        .unwrap();
+    assert_eq!(output(&mut m, "w p q"), "p q\n");
+}
+
+#[test]
+fn bqstatus_records_backquote_command_value() {
+    let mut m = machine();
+    m.run("x = `{echo hi; false}").unwrap();
+    assert_eq!(m.get_var("bqstatus"), vec!["1"]);
+    m.run("x = `{echo hi}").unwrap();
+    assert_eq!(m.get_var("bqstatus"), vec!["0"]);
+}
+
+#[test]
+fn close_redirection() {
+    let mut m = machine();
+    // With fd 1 closed, echo's write fails -> error exception.
+    let err = m.run("echo hidden >[1=]").unwrap_err();
+    assert!(err.contains("echo"), "{err}");
+    assert_eq!(m.os_mut().take_output(), "");
+    // But the shell survives and fd 1 is restored.
+    assert_eq!(output(&mut m, "echo visible"), "visible\n");
+}
+
+#[test]
+fn here_document_feeds_stdin() {
+    let mut m = machine();
+    assert_eq!(
+        output(&mut m, "wc -l << 'a\nb\nc\n'"),
+        format!("{:7}\n", 3)
+    );
+}
+
+#[test]
+fn prompt_variable_is_used_by_parse() {
+    let mut m = machine();
+    m.run("prompt = ('es> ' '... ')").unwrap();
+    m.os_mut().push_input("echo done\n");
+    m.repl();
+    let err = m.os_mut().take_error();
+    assert!(err.contains("es> "), "{err}");
+}
+
+#[test]
+fn settors_fire_on_local_bindings() {
+    let mut m = machine();
+    m.run("fn watch-x { set-x = @ { hits = $hits 1; return $* } }").unwrap();
+    m.run("watch-x").unwrap();
+    m.run("local (x = a) { result $x }").unwrap();
+    assert_eq!(m.get_var("hits"), vec!["1"], "settor ran for the local binding");
+}
+
+#[test]
+fn noexport_variable_respected() {
+    let mut m = machine();
+    m.run("secret = hidden").unwrap();
+    m.run("noexport = $noexport secret").unwrap();
+    let env = m.export_environment();
+    assert!(!env.iter().any(|(k, _)| k == "secret"));
+    assert!(env.iter().any(|(k, _)| k == "fn-%pipe"), "functions still export");
+}
+
+#[test]
+fn whatis_multiple_names() {
+    let mut m = machine();
+    m.run("fn one { result 1 }").unwrap();
+    assert_eq!(
+        output(&mut m, "whatis one ls"),
+        "@ * {result 1}\n/bin/ls\n"
+    );
+}
+
+#[test]
+fn empty_pattern_list_matches_empty_subject_only() {
+    let mut m = machine();
+    assert_eq!(val(&mut m, "~ ()"), vec!["0"]);
+    assert_eq!(val(&mut m, "~ x"), vec!["1"]);
+}
+
+#[test]
+fn division_of_labor_if_branches() {
+    let mut m = machine();
+    // Multi-arm if from Figure 3: first true condition wins.
+    let src = "fn classify e {
+        if {~ $e eof} { result end-of-file } \
+           {~ $e error} { result user-error } \
+           { result unknown }
+    }";
+    m.run(src).unwrap();
+    assert_eq!(val(&mut m, "result <>{classify eof}"), vec!["end-of-file"]);
+    assert_eq!(val(&mut m, "result <>{classify error}"), vec!["user-error"]);
+    assert_eq!(val(&mut m, "result <>{classify retry}"), vec!["unknown"]);
+}
+
+#[test]
+fn fork_inside_pipeline() {
+    let mut m = machine();
+    assert_eq!(
+        output(&mut m, "fork {echo from subshell} | tr a-z A-Z"),
+        "FROM SUBSHELL\n"
+    );
+}
+
+#[test]
+fn exceptions_restore_redirections() {
+    let mut m = machine();
+    let err = m.run("{ throw error boom } > /tmp/out").unwrap_err();
+    assert_eq!(err, "error boom");
+    // fd 1 must be back on the console.
+    assert_eq!(output(&mut m, "echo back"), "back\n");
+}
+
+#[test]
+fn exceptions_restore_dynamic_bindings() {
+    let mut m = machine();
+    m.run("x = outer").unwrap();
+    let err = m.run("local (x = inner) { throw error bye }").unwrap_err();
+    assert_eq!(err, "error bye");
+    assert_eq!(m.get_var("x"), vec!["outer"]);
+}
+
+#[test]
+fn deeply_nested_closures_survive_collection() {
+    let mut m = machine();
+    m.run("fn wrap f { return @ { result wrapped <>{$f} } }").unwrap();
+    m.run("g = @ { result base }").unwrap();
+    for _ in 0..10 {
+        m.run("g = <>{wrap $g}").unwrap();
+    }
+    m.heap.collect();
+    let got = val(&mut m, "result <>{$g}");
+    assert_eq!(got.len(), 11);
+    assert!(got.iter().take(10).all(|w| w == "wrapped"));
+    assert_eq!(got[10], "base");
+}
+
+#[test]
+fn interactive_flag_primitive() {
+    let mut m = machine();
+    assert_eq!(val(&mut m, "$&isinteractive"), vec!["1"]);
+    m.opts.interactive = true;
+    assert_eq!(val(&mut m, "$&isinteractive"), vec!["0"]);
+}
+
+#[test]
+fn version_and_primitives_lists() {
+    let mut m = machine();
+    let v = val(&mut m, "version");
+    assert!(v.join(" ").contains("USENIX 1993"));
+    let prims = val(&mut m, "primitives");
+    assert!(prims.contains(&"create".to_string()));
+    assert!(prims.contains(&"catch".to_string()));
+    assert!(prims.len() > 30);
+}
+
+// --------------------------------------------------------------------------
+// The higher-order library shipped in initial.es.
+// --------------------------------------------------------------------------
+
+#[test]
+fn stdlib_map_filter_fold() {
+    let mut m = machine();
+    assert_eq!(
+        val(&mut m, "result <>{map @ x {result $x$x} a b c}"),
+        vec!["aa", "bb", "cc"]
+    );
+    assert_eq!(
+        val(&mut m, "result <>{filter @ x {~ $x *o*} foo bar box}"),
+        vec!["foo", "box"]
+    );
+    assert_eq!(
+        val(&mut m, "result <>{fold @ a x {result $a$x} '' 1 2 3}"),
+        vec!["123"]
+    );
+    // And with externals through backquotes: numeric fold via expr.
+    assert_eq!(
+        val(&mut m, "result <>{fold @ a x {result `{expr $a + $x}} 0 1 2 3 4}"),
+        vec!["10"]
+    );
+}
+
+#[test]
+fn stdlib_apply_matches_paper_definition() {
+    let mut m = machine();
+    assert_eq!(
+        output(&mut m, "apply echo testing 1.. 2.. 3.."),
+        "testing\n1..\n2..\n3..\n"
+    );
+}
+
+#[test]
+fn stdlib_functions_compose() {
+    let mut m = machine();
+    // map over the output of filter, folded into one string.
+    let v = val(
+        &mut m,
+        "result <>{fold @ a x {result $a$x} '' <>{map @ x {result '<'$x'>'} <>{filter @ x {!~ $x b} a b c}}}",
+    );
+    assert_eq!(v, vec!["<a><c>"]);
+}

@@ -1,0 +1,222 @@
+//! Property tests: algebraic laws of the es value/evaluation model,
+//! checked against randomly generated data — many under GC stress
+//! mode, which collects on every allocation (the paper's debugging
+//! collector), so any missed root dies loudly.
+
+use crate::machine::Machine;
+use es_os::SimOs;
+use es_syntax::print::quote;
+use proptest::prelude::*;
+
+fn machine() -> Machine<SimOs> {
+    Machine::new(SimOs::new()).expect("machine boots")
+}
+
+fn stress_machine() -> Machine<SimOs> {
+    let mut m = machine();
+    m.heap.set_stress(true);
+    m
+}
+
+/// es word strategy: printable, no newline (quoting handles the rest).
+fn word() -> impl Strategy<Value = String> {
+    "[ -~]{0,12}"
+}
+
+fn words() -> impl Strategy<Value = Vec<String>> {
+    proptest::collection::vec(word(), 0..8)
+}
+
+fn quoted_list(items: &[String]) -> String {
+    items.iter().map(|w| quote(w)).collect::<Vec<_>>().join(" ")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `result <list>` is the identity on lists.
+    #[test]
+    fn prop_result_is_identity(items in words()) {
+        let mut m = machine();
+        let got = m.run(&format!("result {}", quoted_list(&items))).unwrap();
+        prop_assert_eq!(got, items);
+    }
+
+    /// Assignment then reference round-trips any list (under GC
+    /// stress, so every value moves many times).
+    #[test]
+    fn prop_assign_lookup_roundtrip(items in words()) {
+        let mut m = stress_machine();
+        m.run(&format!("v = {}", quoted_list(&items))).unwrap();
+        prop_assert_eq!(m.get_var("v"), items);
+    }
+
+    /// `$#v` is the length and `$v(i)` is 1-based indexing.
+    #[test]
+    fn prop_count_and_subscript(items in words(), idx in 1usize..12) {
+        let mut m = machine();
+        m.run(&format!("v = {}", quoted_list(&items))).unwrap();
+        let count = m.run("result $#v").unwrap();
+        prop_assert_eq!(count, vec![items.len().to_string()]);
+        let got = m.run(&format!("result $v({idx})")).unwrap();
+        match items.get(idx - 1) {
+            Some(w) => prop_assert_eq!(got, vec![w.clone()]),
+            None => prop_assert!(got.is_empty()),
+        }
+    }
+
+    /// `$^v` equals the elements joined with single spaces.
+    #[test]
+    fn prop_flatten_joins(items in words()) {
+        let mut m = machine();
+        m.run(&format!("v = {}", quoted_list(&items))).unwrap();
+        let got = m.run("result $^v").unwrap();
+        prop_assert_eq!(got, vec![items.join(" ")]);
+    }
+
+    /// Distributive concatenation: single ^ list = elementwise prefix.
+    #[test]
+    fn prop_concat_distributes(prefix in "[a-z]{1,5}", items in proptest::collection::vec("[a-z]{1,6}", 1..6)) {
+        let mut m = machine();
+        m.run(&format!("v = {}", items.join(" "))).unwrap();
+        let got = m.run(&format!("result {prefix}^$v")).unwrap();
+        let want: Vec<String> = items.iter().map(|w| format!("{prefix}{w}")).collect();
+        prop_assert_eq!(got, want);
+    }
+
+    /// Pairwise concatenation of equal-length lists.
+    #[test]
+    fn prop_concat_pairwise(pairs in proptest::collection::vec(("[a-z]{1,4}", "[0-9]{1,4}"), 1..6)) {
+        let mut m = machine();
+        let left: Vec<String> = pairs.iter().map(|(a, _)| a.clone()).collect();
+        let right: Vec<String> = pairs.iter().map(|(_, b)| b.clone()).collect();
+        m.run(&format!("l = {}", left.join(" "))).unwrap();
+        m.run(&format!("r = {}", right.join(" "))).unwrap();
+        let got = m.run("result $l^$r").unwrap();
+        let want: Vec<String> = pairs.iter().map(|(a, b)| format!("{a}{b}")).collect();
+        prop_assert_eq!(got, want);
+    }
+
+    /// echo prints its arguments space-joined plus newline.
+    #[test]
+    fn prop_echo_roundtrip(items in proptest::collection::vec("[a-zA-Z0-9_.,:/-]{1,10}", 0..6)) {
+        let mut m = machine();
+        m.run(&format!("echo {}", quoted_list(&items))).unwrap();
+        prop_assert_eq!(m.os_mut().take_output(), format!("{}\n", items.join(" ")));
+    }
+
+    /// A lambda returning its arguments is the identity under `<>`.
+    #[test]
+    fn prop_lambda_identity(items in words()) {
+        let mut m = stress_machine();
+        m.run("fn id { result $* }").unwrap();
+        let got = m.run(&format!("result <>{{id {}}}", quoted_list(&items))).unwrap();
+        prop_assert_eq!(got, items);
+    }
+
+    /// for-loop visits every element in order (accumulating into a
+    /// global), regardless of contents.
+    #[test]
+    fn prop_for_visits_in_order(items in proptest::collection::vec("[a-z]{1,6}", 0..10)) {
+        let mut m = machine();
+        m.run(&format!("src = {}", quoted_list(&items))).unwrap();
+        m.run("acc =").unwrap();
+        m.run("for (i = $src) { acc = $acc $i }").unwrap();
+        prop_assert_eq!(m.get_var("acc"), items);
+    }
+
+    /// let-scoping restores the outer value, always.
+    #[test]
+    fn prop_let_restores(outer in words(), inner in words()) {
+        let mut m = machine();
+        m.run(&format!("v = {}", quoted_list(&outer))).unwrap();
+        m.run(&format!("let (v = {}) {{ result $v }}", quoted_list(&inner))).unwrap();
+        prop_assert_eq!(m.get_var("v"), outer);
+    }
+
+    /// local-scoping too, via dynamic binding.
+    #[test]
+    fn prop_local_restores(outer in words(), inner in words()) {
+        let mut m = machine();
+        m.run(&format!("v = {}", quoted_list(&outer))).unwrap();
+        m.run(&format!("local (v = {}) {{ result $v }}", quoted_list(&inner))).unwrap();
+        prop_assert_eq!(m.get_var("v"), outer);
+    }
+
+    /// Exceptions carry arbitrary payloads through catch unchanged.
+    #[test]
+    fn prop_throw_catch_payload(items in proptest::collection::vec("[a-z0-9]{1,8}", 1..6)) {
+        let mut m = machine();
+        let got = m
+            .run(&format!(
+                "catch @ e {{ result $e }} {{ throw {} }}",
+                items.join(" ")
+            ))
+            .unwrap();
+        prop_assert_eq!(got, items);
+    }
+
+    /// The environment codec is a lossless round trip for plain
+    /// variables with arbitrary printable contents.
+    #[test]
+    fn prop_env_roundtrip_plain_vars(items in proptest::collection::vec("[ -~&&[^\u{1}]]{0,10}", 0..5)) {
+        let mut parent = machine();
+        parent.run(&format!("payload = {}", quoted_list(&items))).unwrap();
+        let env = parent.export_environment();
+        let mut os = SimOs::new();
+        os.set_initial_env(env);
+        let child = Machine::new(os).expect("child boots");
+        prop_assert_eq!(child.get_var("payload"), parent.get_var("payload"));
+    }
+
+    /// whatis output reparses to an equivalent definition: define,
+    /// unparse, redefine from the text, compare behaviour.
+    #[test]
+    fn prop_unparse_reparse_functions(
+        captured in "[a-z]{1,6}",
+        arg in "[a-z]{1,6}",
+    ) {
+        let mut m = machine();
+        let def = format!("let (c = {captured}) fn f {{ echo $c $* }}");
+        m.run(&def).unwrap();
+        let encoded = m
+            .export_environment()
+            .into_iter()
+            .find(|(k, _)| k == "fn-f")
+            .map(|(_, v)| v)
+            .expect("fn-f exported");
+        m.run(&format!("fn-g = {encoded}")).unwrap();
+        m.run(&format!("f {arg}; g {arg}")).unwrap();
+        let out = m.os_mut().take_output();
+        let lines: Vec<&str> = out.lines().collect();
+        prop_assert_eq!(lines.len(), 2);
+        prop_assert_eq!(lines[0], lines[1], "f and its reparsed copy agree");
+    }
+
+    /// ~ matching agrees with the es-match crate on literal patterns.
+    #[test]
+    fn prop_match_agrees_with_es_match(subject in "[a-z]{0,8}", pattern in "[a-z*?]{1,8}") {
+        let mut m = machine();
+        let got = m
+            .run(&format!("~ {} {}", quote(&subject), pattern))
+            .unwrap();
+        let want = es_match::Pattern::parse(&pattern).matches(&subject);
+        prop_assert_eq!(got == vec!["0".to_string()], want);
+    }
+
+    /// Deterministic replay: the same program in two fresh machines
+    /// produces identical output and heap statistics shape.
+    #[test]
+    fn prop_deterministic(items in proptest::collection::vec("[a-z]{1,5}", 1..5)) {
+        let program = format!(
+            "v = {}; for (i = $v) {{ echo $i }}; echo $#v",
+            items.join(" ")
+        );
+        let mut m1 = machine();
+        let mut m2 = machine();
+        m1.run(&program).unwrap();
+        m2.run(&program).unwrap();
+        prop_assert_eq!(m1.os_mut().take_output(), m2.os_mut().take_output());
+        prop_assert_eq!(m1.heap.stats().allocated, m2.heap.stats().allocated);
+    }
+}

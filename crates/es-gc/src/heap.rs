@@ -1,0 +1,628 @@
+//! The semispace heap: object model, bump allocation, Cheney copy.
+
+use crate::stats::GcStats;
+use std::time::Instant;
+
+/// A garbage-collected reference: an index into the current semispace
+/// tagged with the collection *epoch* in which it was created.
+///
+/// Copying collection moves every live object, so a `Ref` held across a
+/// collection without being registered in the rootset is invalid. The
+/// epoch tag makes such bugs deterministic: dereferencing a stale `Ref`
+/// panics immediately instead of silently reading relocated memory.
+/// This mirrors the original implementation's debugging collector,
+/// which `mprotect`ed the old semispace so stale C pointers faulted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Ref {
+    idx: u32,
+    epoch: u32,
+}
+
+impl Ref {
+    /// The null reference (end of a list, empty binding chain, ...).
+    pub const NIL: Ref = Ref {
+        idx: u32::MAX,
+        epoch: 0,
+    };
+
+    /// Returns true if this is the null reference.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use es_gc::Ref;
+    /// assert!(Ref::NIL.is_nil());
+    /// ```
+    pub fn is_nil(self) -> bool {
+        self.idx == u32::MAX
+    }
+}
+
+/// A stable handle to a slot in the heap's root stack.
+///
+/// Unlike a [`Ref`], a `RootSlot` survives collections: the collector
+/// rewrites the `Ref` stored in the slot. Interpreter code pushes roots
+/// on entry to a region that may allocate, and truncates back to the
+/// saved depth on exit (a shadow stack, playing the role of the
+/// original's per-routine rootset declarations).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RootSlot(usize);
+
+impl RootSlot {
+    /// The slot's position in the root stack, usable with
+    /// [`Heap::truncate_roots`] to pop this slot and everything above it.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// A heap object. `C` is the closure code payload (opaque to the
+/// collector; cloned on copy), which the interpreter instantiates with
+/// a reference-counted lambda.
+#[derive(Debug, Clone)]
+pub enum Obj<C> {
+    /// An immutable string term.
+    Str(Box<str>),
+    /// A list cell: `(head, tail)`. `head` is a `Str` or `Closure`;
+    /// `tail` is a `Pair` or [`Ref::NIL`]. Lists are flat, as the paper
+    /// requires ("lists may not contain lists as elements").
+    Pair(Ref, Ref),
+    /// A closure: code payload plus the chain of captured bindings.
+    Closure(C, Ref),
+    /// A lexical binding frame: `(name, value list, next frame)`.
+    /// Binding values are mutable — es lets a closure assign to a
+    /// captured variable, visibly to other closures sharing the frame.
+    Binding(Box<str>, Ref, Ref),
+    /// Forwarding entry, only present mid-collection.
+    Forward(u32),
+}
+
+/// A stable handle to a *persistent* root (e.g. a shell global
+/// variable). Unlike stack roots these are freed explicitly and may be
+/// reused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PermSlot(usize);
+
+/// The garbage-collected heap.
+///
+/// See the crate docs for the design rationale. The heap is
+/// single-threaded (the es interpreter is too); `Clone` performs a deep
+/// copy of the space and rootset, which is how the interpreter
+/// implements `fork` (a subshell gets a copy-on-fork image of all shell
+/// state, as a real `fork(2)` would provide).
+#[derive(Debug, Clone)]
+pub struct Heap<C> {
+    space: Vec<Obj<C>>,
+    roots: Vec<Ref>,
+    perm: Vec<Ref>,
+    perm_free: Vec<usize>,
+    epoch: u32,
+    /// Collection triggers when the space reaches this many objects.
+    threshold: usize,
+    /// Nesting count of gc-disable regions.
+    disabled: u32,
+    /// Collect on every allocation (the paper's debugging mode).
+    stress: bool,
+    stats: GcStats,
+}
+
+/// Default number of objects that fit in a semispace before a
+/// collection triggers. Deliberately small-ish so ordinary shell
+/// workloads actually exercise the collector, as in the original
+/// (which sized blocks in tens of kilobytes).
+pub const DEFAULT_THRESHOLD: usize = 16 * 1024;
+
+impl<C> Default for Heap<C> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<C> Heap<C> {
+    /// Creates a heap with the default space size.
+    pub fn new() -> Self {
+        Self::with_threshold(DEFAULT_THRESHOLD)
+    }
+
+    /// Creates a heap whose semispace holds `threshold` objects before
+    /// a collection triggers.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let heap: es_gc::Heap<()> = es_gc::Heap::with_threshold(64);
+    /// assert_eq!(heap.stats().collections, 0);
+    /// ```
+    pub fn with_threshold(threshold: usize) -> Self {
+        Heap {
+            space: Vec::with_capacity(threshold.min(1 << 20)),
+            roots: Vec::new(),
+            perm: Vec::new(),
+            perm_free: Vec::new(),
+            epoch: 0,
+            threshold: threshold.max(8),
+            disabled: 0,
+            stress: false,
+            stats: GcStats::default(),
+        }
+    }
+
+    /// Enables or disables stress mode (collect at every allocation).
+    pub fn set_stress(&mut self, on: bool) {
+        self.stress = on;
+    }
+
+    /// Returns the accumulated collection statistics.
+    pub fn stats(&self) -> &GcStats {
+        &self.stats
+    }
+
+    /// Resets the statistics counters (useful between benchmark phases).
+    pub fn reset_stats(&mut self) {
+        self.stats = GcStats::default();
+    }
+
+    /// Number of objects currently in the space (live + garbage).
+    pub fn len(&self) -> usize {
+        self.space.len()
+    }
+
+    /// Returns true if nothing has been allocated since the last
+    /// collection (or ever).
+    pub fn is_empty(&self) -> bool {
+        self.space.is_empty()
+    }
+
+    /// The current collection epoch. Bumped by every collection.
+    pub fn epoch(&self) -> u32 {
+        self.epoch
+    }
+
+    // ----- gc disable regions ------------------------------------------------
+
+    /// Disables collection (nests). The paper disables GC while the
+    /// yacc parser driver runs, because its internal state cannot be
+    /// registered as roots; allocations made meanwhile extend the space
+    /// instead of collecting.
+    pub fn gc_disable(&mut self) {
+        self.disabled += 1;
+    }
+
+    /// Re-enables collection after [`Heap::gc_disable`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the collector was not disabled (unbalanced calls).
+    pub fn gc_enable(&mut self) {
+        assert!(self.disabled > 0, "gc_enable without matching gc_disable");
+        self.disabled -= 1;
+    }
+
+    /// Returns true if collection is currently disabled.
+    pub fn gc_disabled(&self) -> bool {
+        self.disabled > 0
+    }
+
+    // ----- rootset ------------------------------------------------------------
+
+    /// Pushes `r` onto the root stack and returns its slot.
+    pub fn push_root(&mut self, r: Ref) -> RootSlot {
+        self.roots.push(r);
+        RootSlot(self.roots.len() - 1)
+    }
+
+    /// Reads the (possibly relocated) ref stored in a root slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot has been popped.
+    pub fn root(&self, slot: RootSlot) -> Ref {
+        self.roots[slot.0]
+    }
+
+    /// Overwrites the ref stored in a root slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot has been popped.
+    pub fn set_root(&mut self, slot: RootSlot, r: Ref) {
+        self.roots[slot.0] = r;
+    }
+
+    /// Current depth of the root stack; pair with
+    /// [`Heap::truncate_roots`] for scoped root regions.
+    pub fn roots_len(&self) -> usize {
+        self.roots.len()
+    }
+
+    /// Allocates a persistent root slot holding `r`. Persistent roots
+    /// survive until freed; the interpreter uses them for global
+    /// variables.
+    pub fn alloc_perm(&mut self, r: Ref) -> PermSlot {
+        match self.perm_free.pop() {
+            Some(i) => {
+                self.perm[i] = r;
+                PermSlot(i)
+            }
+            None => {
+                self.perm.push(r);
+                PermSlot(self.perm.len() - 1)
+            }
+        }
+    }
+
+    /// Reads a persistent root.
+    pub fn perm(&self, slot: PermSlot) -> Ref {
+        self.perm[slot.0]
+    }
+
+    /// Overwrites a persistent root.
+    pub fn set_perm(&mut self, slot: PermSlot, r: Ref) {
+        self.perm[slot.0] = r;
+    }
+
+    /// Frees a persistent root slot for reuse.
+    pub fn free_perm(&mut self, slot: PermSlot) {
+        self.perm[slot.0] = Ref::NIL;
+        self.perm_free.push(slot.0);
+    }
+
+    /// Pops root slots down to a previously saved depth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is greater than the current depth (that would
+    /// indicate an unbalanced scope).
+    pub fn truncate_roots(&mut self, len: usize) {
+        assert!(len <= self.roots.len(), "unbalanced root scope");
+        self.roots.truncate(len);
+    }
+
+    // ----- allocation -----------------------------------------------------------
+
+    fn maybe_collect(&mut self) {
+        if self.disabled > 0 {
+            self.stats.disabled_allocs += 1;
+            if self.space.len() >= self.threshold {
+                // "A new chunk of memory is grabbed so that allocation
+                // can continue" — we model a chunk as another
+                // threshold's worth of headroom.
+                self.threshold += DEFAULT_THRESHOLD.min(self.threshold);
+                self.stats.chunks_grabbed += 1;
+            }
+            return;
+        }
+        if self.stress || self.space.len() >= self.threshold {
+            self.collect();
+        }
+    }
+
+    fn push(&mut self, obj: Obj<C>) -> Ref {
+        self.maybe_collect();
+        self.stats.allocated += 1;
+        let idx = self.space.len() as u32;
+        self.space.push(obj);
+        Ref {
+            idx,
+            epoch: self.epoch,
+        }
+    }
+
+    /// Allocates a string term.
+    pub fn alloc_str(&mut self, s: &str) -> Ref {
+        self.push(Obj::Str(s.into()))
+    }
+
+    /// Allocates a string term from an owned string.
+    pub fn alloc_string(&mut self, s: String) -> Ref {
+        self.push(Obj::Str(s.into_boxed_str()))
+    }
+
+    /// Allocates a list cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in the same way as any deref) if `head` or `tail` are
+    /// stale refs from a previous epoch.
+    pub fn alloc_pair(&mut self, head: Ref, tail: Ref) -> Ref {
+        self.check(head);
+        self.check(tail);
+        // Root the children: the allocation itself may collect.
+        let base = self.roots.len();
+        self.roots.push(head);
+        self.roots.push(tail);
+        self.maybe_collect();
+        let tail = self.roots.pop().expect("root stack underflow");
+        let head = self.roots.pop().expect("root stack underflow");
+        debug_assert_eq!(self.roots.len(), base);
+        self.stats.allocated += 1;
+        let idx = self.space.len() as u32;
+        self.space.push(Obj::Pair(head, tail));
+        Ref {
+            idx,
+            epoch: self.epoch,
+        }
+    }
+
+    /// Allocates a closure with the given code payload and captured
+    /// binding chain.
+    pub fn alloc_closure(&mut self, code: C, bindings: Ref) -> Ref {
+        self.check(bindings);
+        let base = self.roots.len();
+        self.roots.push(bindings);
+        self.maybe_collect();
+        let bindings = self.roots.pop().expect("root stack underflow");
+        debug_assert_eq!(self.roots.len(), base);
+        self.stats.allocated += 1;
+        let idx = self.space.len() as u32;
+        self.space.push(Obj::Closure(code, bindings));
+        Ref {
+            idx,
+            epoch: self.epoch,
+        }
+    }
+
+    /// Allocates a binding frame `name = value` chained onto `next`.
+    pub fn alloc_binding(&mut self, name: &str, value: Ref, next: Ref) -> Ref {
+        self.check(value);
+        self.check(next);
+        let base = self.roots.len();
+        self.roots.push(value);
+        self.roots.push(next);
+        self.maybe_collect();
+        let next = self.roots.pop().expect("root stack underflow");
+        let value = self.roots.pop().expect("root stack underflow");
+        debug_assert_eq!(self.roots.len(), base);
+        self.stats.allocated += 1;
+        let idx = self.space.len() as u32;
+        self.space.push(Obj::Binding(name.into(), value, next));
+        Ref {
+            idx,
+            epoch: self.epoch,
+        }
+    }
+
+    // ----- access ---------------------------------------------------------------
+
+    #[track_caller]
+    fn check(&self, r: Ref) {
+        if r.is_nil() {
+            return;
+        }
+        assert_eq!(
+            r.epoch, self.epoch,
+            "stale gc ref: created in epoch {} but heap is in epoch {} \
+             (a ref was held across a collection without being rooted)",
+            r.epoch, self.epoch
+        );
+        assert!((r.idx as usize) < self.space.len(), "gc ref out of range");
+    }
+
+    /// Dereferences `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is [`Ref::NIL`] or stale (allocated before the
+    /// most recent collection and not re-read through a root slot) —
+    /// the safe-Rust analogue of the original's `mprotect` fault on a
+    /// missed-rootset bug.
+    #[track_caller]
+    pub fn get(&self, r: Ref) -> &Obj<C> {
+        assert!(!r.is_nil(), "deref of nil gc ref");
+        self.check(r);
+        &self.space[r.idx as usize]
+    }
+
+    /// Returns the string payload of a `Str` object.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` does not refer to a `Str`.
+    #[track_caller]
+    pub fn str_value(&self, r: Ref) -> &str {
+        match self.get(r) {
+            Obj::Str(s) => s,
+            other => panic!("expected Str, found {}", shape_name(other)),
+        }
+    }
+
+    /// Returns the head of a `Pair`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` does not refer to a `Pair`.
+    #[track_caller]
+    pub fn pair_head(&self, r: Ref) -> Ref {
+        match self.get(r) {
+            Obj::Pair(h, _) => *h,
+            other => panic!("expected Pair, found {}", shape_name(other)),
+        }
+    }
+
+    /// Returns the tail of a `Pair`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` does not refer to a `Pair`.
+    #[track_caller]
+    pub fn pair_tail(&self, r: Ref) -> Ref {
+        match self.get(r) {
+            Obj::Pair(_, t) => *t,
+            other => panic!("expected Pair, found {}", shape_name(other)),
+        }
+    }
+
+    /// Replaces the tail of a `Pair` (used for in-place list append).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` does not refer to a `Pair` or `t` is stale.
+    pub fn set_pair_tail(&mut self, r: Ref, t: Ref) {
+        self.check(t);
+        self.check(r);
+        assert!(!r.is_nil(), "deref of nil gc ref");
+        match &mut self.space[r.idx as usize] {
+            Obj::Pair(_, tail) => *tail = t,
+            other => panic!("expected Pair, found {}", shape_name(other)),
+        }
+    }
+
+    /// Returns the code payload of a `Closure`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` does not refer to a `Closure`.
+    #[track_caller]
+    pub fn closure_code(&self, r: Ref) -> &C {
+        match self.get(r) {
+            Obj::Closure(c, _) => c,
+            other => panic!("expected Closure, found {}", shape_name(other)),
+        }
+    }
+
+    /// Returns the captured binding chain of a `Closure`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` does not refer to a `Closure`.
+    #[track_caller]
+    pub fn closure_bindings(&self, r: Ref) -> Ref {
+        match self.get(r) {
+            Obj::Closure(_, b) => *b,
+            other => panic!("expected Closure, found {}", shape_name(other)),
+        }
+    }
+
+    /// Returns the `(name, value, next)` parts of a `Binding`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` does not refer to a `Binding`.
+    #[track_caller]
+    pub fn binding_parts(&self, r: Ref) -> (&str, Ref, Ref) {
+        match self.get(r) {
+            Obj::Binding(n, v, next) => (n, *v, *next),
+            other => panic!("expected Binding, found {}", shape_name(other)),
+        }
+    }
+
+    /// Mutates the value of a `Binding` frame (lexical assignment).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` does not refer to a `Binding` or `v` is stale.
+    pub fn set_binding_value(&mut self, r: Ref, v: Ref) {
+        self.check(v);
+        self.check(r);
+        assert!(!r.is_nil(), "deref of nil gc ref");
+        match &mut self.space[r.idx as usize] {
+            Obj::Binding(_, value, _) => *value = v,
+            other => panic!("expected Binding, found {}", shape_name(other)),
+        }
+    }
+
+    // ----- collection ------------------------------------------------------------
+
+    /// Runs a full collection now.
+    ///
+    /// All live objects (reachable from the root stack) are copied to a
+    /// fresh space, the epoch is bumped, and all previously issued
+    /// [`Ref`]s become stale. Holders must re-read their refs through
+    /// root slots.
+    pub fn collect(&mut self) {
+        let start = Instant::now();
+        let mut to: Vec<Obj<C>> = Vec::with_capacity(self.space.len().min(self.threshold));
+        // Copy the rootset (stack roots + persistent roots), then
+        // Cheney-scan the to-space.
+        for i in 0..self.roots.len() {
+            let r = self.roots[i];
+            self.roots[i] = copy_obj(&mut self.space, &mut to, r, self.epoch + 1);
+        }
+        for i in 0..self.perm.len() {
+            let r = self.perm[i];
+            self.perm[i] = copy_obj(&mut self.space, &mut to, r, self.epoch + 1);
+        }
+        let mut scan = 0;
+        while scan < to.len() {
+            // Take the child refs out, copy them, and write them back;
+            // splitting the borrow this way keeps the loop safe.
+            let (a, b) = match &to[scan] {
+                Obj::Pair(h, t) => (Some(*h), Some(*t)),
+                Obj::Closure(_, b) => (Some(*b), None),
+                Obj::Binding(_, v, n) => (Some(*v), Some(*n)),
+                Obj::Str(_) => (None, None),
+                Obj::Forward(_) => unreachable!("forward in to-space"),
+            };
+            let a2 = a.map(|r| copy_obj(&mut self.space, &mut to, r, self.epoch + 1));
+            let b2 = b.map(|r| copy_obj(&mut self.space, &mut to, r, self.epoch + 1));
+            match &mut to[scan] {
+                Obj::Pair(h, t) => {
+                    *h = a2.expect("pair head");
+                    *t = b2.expect("pair tail");
+                }
+                Obj::Closure(_, bnd) => *bnd = a2.expect("closure bindings"),
+                Obj::Binding(_, v, n) => {
+                    *v = a2.expect("binding value");
+                    *n = b2.expect("binding next");
+                }
+                Obj::Str(_) => {}
+                Obj::Forward(_) => unreachable!("forward in to-space"),
+            }
+            scan += 1;
+        }
+        let live = to.len();
+        // Swap spaces; the old space is dropped, which "poisons" it for
+        // free — any stale Ref now fails the epoch check on deref.
+        self.space = to;
+        self.epoch += 1;
+        self.stats.collections += 1;
+        self.stats.copied += live as u64;
+        self.stats.live_after_last = live as u64;
+        // If the triggering request would still not fit, grow the space
+        // and note it ("a larger block is allocated and the collection
+        // is redone" — with a to-space sized by live data the redo is
+        // unnecessary, but the growth decision is the same).
+        if live >= self.threshold {
+            self.threshold = self.threshold.saturating_mul(2);
+            self.stats.grows += 1;
+        }
+        let pause = start.elapsed();
+        self.stats.pause_total += pause;
+        if pause > self.stats.pause_max {
+            self.stats.pause_max = pause;
+        }
+    }
+}
+
+/// Copies one object from `from` to `to`, leaving a forwarding entry,
+/// and returns its new ref. Already-forwarded objects are not copied
+/// again, which is what preserves sharing and cycles.
+fn copy_obj<C>(from: &mut [Obj<C>], to: &mut Vec<Obj<C>>, r: Ref, new_epoch: u32) -> Ref {
+    if r.is_nil() {
+        return Ref::NIL;
+    }
+    let idx = r.idx as usize;
+    if let Obj::Forward(n) = from[idx] {
+        return Ref {
+            idx: n,
+            epoch: new_epoch,
+        };
+    }
+    let new_idx = to.len() as u32;
+    let obj = std::mem::replace(&mut from[idx], Obj::Forward(new_idx));
+    to.push(obj);
+    Ref {
+        idx: new_idx,
+        epoch: new_epoch,
+    }
+}
+
+fn shape_name<C>(o: &Obj<C>) -> &'static str {
+    match o {
+        Obj::Str(_) => "Str",
+        Obj::Pair(..) => "Pair",
+        Obj::Closure(..) => "Closure",
+        Obj::Binding(..) => "Binding",
+        Obj::Forward(_) => "Forward",
+    }
+}

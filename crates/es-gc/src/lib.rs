@@ -1,0 +1,59 @@
+//! A semispace copying garbage collector for the es shell runtime.
+//!
+//! This crate reproduces the memory-management design described in the
+//! paper *Es: A shell with higher-order functions* (Haahr & Rakitzis,
+//! Winter USENIX 1993), section "Garbage Collection":
+//!
+//! * Because es embeds a true lambda calculus, runtime values can form
+//!   arbitrary cyclic graphs (closures capture bindings which refer to
+//!   closures, ...), so neither arena allocation nor reference counting
+//!   suffices — a tracing collector is required.
+//! * The paper chose a **copying** (semispace) collector: between two
+//!   commands little memory is live, command execution can allocate a
+//!   lot for a short time, and the live set is far smaller than physical
+//!   memory, so trading space for fast collections is the right call.
+//! * Allocation is a bump through a preallocated block; when the block
+//!   is exhausted, everything reachable from the *rootset* is copied to
+//!   a fresh block (Cheney scan) and the spaces are swapped.
+//! * During some phases (the yacc parser driver in the original) the
+//!   rootset cannot be fully identified, so collection can be
+//!   **disabled**; allocation then grabs extra chunks instead of
+//!   collecting.
+//! * The original's debug mode collects at *every* allocation and
+//!   revokes access to the old semispace with `mprotect`, so any stale
+//!   pointer faults immediately. Our safe-Rust analogue: every
+//!   [`Ref`] carries the collection *epoch* in which it was created and
+//!   dereferencing a stale ref panics with a diagnostic — the same bug
+//!   class caught at the same moment, without `unsafe`.
+//!
+//! The object model is exactly the four runtime shapes the es
+//! interpreter needs (strings, list cells, closures, binding frames);
+//! the closure *code* payload is a generic parameter `C` so this crate
+//! does not depend on the syntax crate (the interpreter instantiates it
+//! with `Rc<Lambda>`; tests here use `u32`).
+//!
+//! # Examples
+//!
+//! ```
+//! use es_gc::{Heap, Obj, Ref};
+//!
+//! let mut heap: Heap<u32> = Heap::new();
+//! let s = heap.alloc_str("hello");
+//! let cell = heap.alloc_pair(s, Ref::NIL);
+//! let root = heap.push_root(cell);
+//! heap.collect();
+//! let cell = heap.root(root); // refs move across collections
+//! match heap.get(heap.pair_head(cell)) {
+//!     Obj::Str(s) => assert_eq!(&**s, "hello"),
+//!     _ => unreachable!(),
+//! }
+//! ```
+
+mod heap;
+mod stats;
+
+pub use heap::{Heap, Obj, PermSlot, Ref, RootSlot};
+pub use stats::GcStats;
+
+#[cfg(test)]
+mod tests;

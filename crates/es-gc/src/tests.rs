@@ -1,0 +1,335 @@
+//! Unit and property tests for the copying collector.
+
+use crate::{Heap, Obj, Ref};
+use proptest::prelude::*;
+
+#[test]
+fn alloc_and_read_str() {
+    let mut heap: Heap<u32> = Heap::new();
+    let r = heap.alloc_str("hello");
+    assert_eq!(heap.str_value(r), "hello");
+    assert_eq!(heap.stats().allocated, 1);
+}
+
+#[test]
+fn list_survives_collection() {
+    let mut heap: Heap<u32> = Heap::with_threshold(8);
+    let a = heap.alloc_str("a");
+    let slot_a = heap.push_root(a);
+    let cell = heap.alloc_pair(heap.root(slot_a), Ref::NIL);
+    let slot = heap.push_root(cell);
+    heap.collect();
+    let cell = heap.root(slot);
+    let head = heap.pair_head(cell);
+    assert_eq!(heap.str_value(head), "a");
+    assert!(heap.pair_tail(cell).is_nil());
+}
+
+#[test]
+#[should_panic(expected = "stale gc ref")]
+fn stale_ref_panics() {
+    let mut heap: Heap<u32> = Heap::new();
+    let r = heap.alloc_str("x");
+    heap.collect();
+    let _ = heap.get(r); // not rooted: must be caught, like the paper's mprotect trap
+}
+
+#[test]
+#[should_panic(expected = "deref of nil")]
+fn nil_deref_panics() {
+    let heap: Heap<u32> = Heap::new();
+    let _ = heap.get(Ref::NIL);
+}
+
+#[test]
+fn unreachable_objects_are_dropped() {
+    let mut heap: Heap<u32> = Heap::with_threshold(1 << 20);
+    for i in 0..100 {
+        heap.alloc_str(&format!("garbage{i}"));
+    }
+    let keep = heap.alloc_str("keep");
+    let slot = heap.push_root(keep);
+    heap.collect();
+    assert_eq!(heap.len(), 1);
+    assert_eq!(heap.str_value(heap.root(slot)), "keep");
+    assert_eq!(heap.stats().live_after_last, 1);
+}
+
+#[test]
+fn sharing_is_preserved() {
+    let mut heap: Heap<u32> = Heap::new();
+    let shared = heap.alloc_str("shared");
+    let s_slot = heap.push_root(shared);
+    let p1 = heap.alloc_pair(heap.root(s_slot), Ref::NIL);
+    let p1_slot = heap.push_root(p1);
+    let p2 = heap.alloc_pair(heap.root(s_slot), Ref::NIL);
+    let p2_slot = heap.push_root(p2);
+    heap.collect();
+    // Both pairs must point at the *same* copied string.
+    let h1 = heap.pair_head(heap.root(p1_slot));
+    let h2 = heap.pair_head(heap.root(p2_slot));
+    assert_eq!(h1, h2);
+    assert_eq!(heap.len(), 3, "shared string copied exactly once");
+}
+
+#[test]
+fn cycles_survive_collection() {
+    // A binding whose value list contains a closure that captures the
+    // binding itself: the paper's "true recursive structures".
+    let mut heap: Heap<u32> = Heap::new();
+    let binding = heap.alloc_binding("self", Ref::NIL, Ref::NIL);
+    let b_slot = heap.push_root(binding);
+    let clo = heap.alloc_closure(42, heap.root(b_slot));
+    let c_slot = heap.push_root(clo);
+    let cell = heap.alloc_pair(heap.root(c_slot), Ref::NIL);
+    let cell_slot = heap.push_root(cell);
+    heap.set_binding_value(heap.root(b_slot), heap.root(cell_slot));
+    heap.collect();
+    heap.collect(); // twice: copying a cycle twice is the classic failure mode
+    let b = heap.root(b_slot);
+    let (name, value, _) = heap.binding_parts(b);
+    assert_eq!(name, "self");
+    let clo2 = heap.pair_head(value);
+    assert_eq!(heap.closure_bindings(clo2), b, "cycle closes back on itself");
+    assert_eq!(*heap.closure_code(clo2), 42);
+}
+
+#[test]
+fn stress_mode_collects_every_alloc() {
+    let mut heap: Heap<u32> = Heap::with_threshold(1 << 20);
+    heap.set_stress(true);
+    let a = heap.alloc_str("a");
+    let slot = heap.push_root(a);
+    for i in 0..50 {
+        let s = heap.alloc_string(format!("x{i}"));
+        let tmp = heap.push_root(s);
+        let _p = heap.alloc_pair(heap.root(tmp), Ref::NIL);
+        heap.truncate_roots(slot.index() + 1);
+    }
+    assert!(heap.stats().collections >= 100, "one per allocation");
+    assert_eq!(heap.str_value(heap.root(slot)), "a");
+}
+
+#[test]
+fn disabled_gc_grabs_chunks() {
+    let mut heap: Heap<u32> = Heap::with_threshold(8);
+    heap.gc_disable();
+    for i in 0..100 {
+        heap.alloc_string(format!("v{i}"));
+    }
+    assert_eq!(heap.stats().collections, 0, "no collection while disabled");
+    assert!(heap.stats().chunks_grabbed > 0, "fallback chunks were grabbed");
+    assert_eq!(heap.stats().disabled_allocs, 100);
+    heap.gc_enable();
+    heap.collect();
+    assert_eq!(heap.len(), 0);
+}
+
+#[test]
+#[should_panic(expected = "gc_enable without matching gc_disable")]
+fn unbalanced_enable_panics() {
+    let mut heap: Heap<u32> = Heap::new();
+    heap.gc_enable();
+}
+
+#[test]
+fn threshold_grows_when_live_set_is_large() {
+    let mut heap: Heap<u32> = Heap::with_threshold(8);
+    // Keep everything live so the collection cannot reclaim anything.
+    let mut tail = Ref::NIL;
+    let slot = heap.push_root(tail);
+    for i in 0..64 {
+        let s = heap.alloc_string(format!("k{i}"));
+        let s_slot = heap.push_root(s);
+        tail = heap.root(slot);
+        let p = heap.alloc_pair(heap.root(s_slot), tail);
+        heap.set_root(slot, p);
+        heap.truncate_roots(s_slot.index());
+    }
+    assert!(heap.stats().grows > 0, "space must grow under live pressure");
+    // The whole list is intact.
+    let mut n = 0;
+    let mut cur = heap.root(slot);
+    while !cur.is_nil() {
+        n += 1;
+        cur = heap.pair_tail(cur);
+    }
+    assert_eq!(n, 64);
+}
+
+#[test]
+fn binding_mutation_is_visible_through_sharing() {
+    // Two closures capture the same frame; assignment through one is
+    // seen by the other (the paper's lexical-scope sharing semantics).
+    let mut heap: Heap<u32> = Heap::new();
+    let frame = heap.alloc_binding("x", Ref::NIL, Ref::NIL);
+    let f_slot = heap.push_root(frame);
+    let c1 = heap.alloc_closure(1, heap.root(f_slot));
+    let c1_slot = heap.push_root(c1);
+    let c2 = heap.alloc_closure(2, heap.root(f_slot));
+    let c2_slot = heap.push_root(c2);
+    let val = heap.alloc_str("assigned");
+    let v_slot = heap.push_root(val);
+    let cell = heap.alloc_pair(heap.root(v_slot), Ref::NIL);
+    heap.set_binding_value(heap.closure_bindings(heap.root(c1_slot)), cell);
+    heap.collect();
+    let b2 = heap.closure_bindings(heap.root(c2_slot));
+    let (_, value, _) = heap.binding_parts(b2);
+    assert_eq!(heap.str_value(heap.pair_head(value)), "assigned");
+}
+
+#[test]
+fn clone_is_independent_fork_image() {
+    let mut heap: Heap<u32> = Heap::new();
+    let b = heap.alloc_binding("x", Ref::NIL, Ref::NIL);
+    let slot = heap.push_root(b);
+    let mut child = heap.clone();
+    // Mutate the child; parent must be unaffected (fork semantics).
+    let v = child.alloc_str("child-only");
+    let v_slot = child.push_root(v);
+    let cell = child.alloc_pair(child.root(v_slot), Ref::NIL);
+    child.set_binding_value(child.root(slot), cell);
+    let (_, parent_val, _) = heap.binding_parts(heap.root(slot));
+    assert!(parent_val.is_nil(), "parent not affected by child mutation");
+}
+
+#[test]
+fn pause_fraction_math() {
+    use std::time::Duration;
+    let mut s = crate::GcStats::default();
+    s.pause_total = Duration::from_millis(40);
+    assert!((s.pause_fraction(Duration::from_secs(1)) - 0.04).abs() < 1e-12);
+    assert_eq!(s.pause_fraction(Duration::ZERO), 0.0);
+    s.collections = 4;
+    s.copied = 100;
+    s.allocated = 1000;
+    assert_eq!(s.avg_copied(), 25.0);
+    assert!((s.survival_rate() - 0.1).abs() < 1e-12);
+}
+
+// ---------------------------------------------------------------------------
+// Property tests: build random list-of-strings graphs, collect at random
+// points, and check that the reachable contents are exactly preserved.
+// ---------------------------------------------------------------------------
+
+/// Reads a GC list of string terms back into a Vec<String>.
+fn read_list(heap: &Heap<u32>, mut r: Ref) -> Vec<String> {
+    let mut out = Vec::new();
+    while !r.is_nil() {
+        let head = heap.pair_head(r);
+        match heap.get(head) {
+            Obj::Str(s) => out.push(s.to_string()),
+            Obj::Closure(code, _) => out.push(format!("<closure:{code}>")),
+            _ => panic!("list head must be Str or Closure"),
+        }
+        r = heap.pair_tail(r);
+    }
+    out
+}
+
+/// Builds a GC list from strings, collecting along the way if `stress`.
+fn build_list(heap: &mut Heap<u32>, items: &[String]) -> crate::RootSlot {
+    let slot = heap.push_root(Ref::NIL);
+    for item in items.iter().rev() {
+        let s = heap.alloc_string(item.clone());
+        let s_slot = heap.push_root(s);
+        let tail = heap.root(slot);
+        let p = heap.alloc_pair(heap.root(s_slot), tail);
+        heap.set_root(slot, p);
+        heap.truncate_roots(s_slot.index());
+    }
+    slot
+}
+
+proptest! {
+    #[test]
+    fn prop_lists_survive_any_collection_schedule(
+        items in proptest::collection::vec("[a-z]{0,12}", 0..60),
+        threshold in 8usize..64,
+        stress in any::<bool>(),
+        extra_collects in 0usize..4,
+    ) {
+        let mut heap: Heap<u32> = Heap::with_threshold(threshold);
+        heap.set_stress(stress);
+        let slot = build_list(&mut heap, &items);
+        for _ in 0..extra_collects {
+            heap.collect();
+        }
+        let got = read_list(&heap, heap.root(slot));
+        prop_assert_eq!(got, items);
+    }
+
+    #[test]
+    fn prop_garbage_is_reclaimed(
+        live in proptest::collection::vec("[a-z]{1,8}", 1..20),
+        garbage in 1usize..200,
+    ) {
+        let mut heap: Heap<u32> = Heap::with_threshold(1 << 20);
+        let slot = build_list(&mut heap, &live);
+        for i in 0..garbage {
+            heap.alloc_string(format!("g{i}"));
+        }
+        heap.collect();
+        // Live set: one pair + one str per element.
+        prop_assert_eq!(heap.len(), live.len() * 2);
+        prop_assert_eq!(read_list(&heap, heap.root(slot)), live);
+    }
+
+    #[test]
+    fn prop_interleaved_mutation_and_collection(
+        ops in proptest::collection::vec((any::<bool>(), "[a-z]{1,6}"), 1..50),
+    ) {
+        // Model: a single binding holding a list; ops either push a
+        // value onto the list (via mutation) or force a collection.
+        let mut heap: Heap<u32> = Heap::with_threshold(16);
+        let b = heap.alloc_binding("acc", Ref::NIL, Ref::NIL);
+        let slot = heap.push_root(b);
+        let mut model: Vec<String> = Vec::new();
+        for (collect, word) in &ops {
+            if *collect {
+                heap.collect();
+            } else {
+                let s = heap.alloc_string(word.clone());
+                let s_slot = heap.push_root(s);
+                let (_, old, _) = heap.binding_parts(heap.root(slot));
+                let cell = heap.alloc_pair(heap.root(s_slot), old);
+                heap.set_binding_value(heap.root(slot), cell);
+                heap.truncate_roots(s_slot.index());
+                model.insert(0, word.clone());
+            }
+        }
+        let (_, value, _) = heap.binding_parts(heap.root(slot));
+        prop_assert_eq!(read_list(&heap, value), model);
+    }
+}
+
+#[test]
+fn persistent_roots_survive_and_free() {
+    let mut heap: Heap<u32> = Heap::new();
+    let a = heap.alloc_str("global-a");
+    let slot_a = heap.alloc_perm(a);
+    let b = heap.alloc_str("global-b");
+    let slot_b = heap.alloc_perm(b);
+    heap.collect();
+    assert_eq!(heap.str_value(heap.perm(slot_a)), "global-a");
+    assert_eq!(heap.str_value(heap.perm(slot_b)), "global-b");
+    heap.free_perm(slot_a);
+    heap.collect();
+    assert_eq!(heap.len(), 1, "freed global was reclaimed");
+    // Freed slots are reused.
+    let c = heap.alloc_str("global-c");
+    let slot_c = heap.alloc_perm(c);
+    assert_eq!(slot_c, slot_a);
+    assert_eq!(heap.str_value(heap.perm(slot_c)), "global-c");
+}
+
+#[test]
+fn perm_and_stack_roots_share_objects() {
+    let mut heap: Heap<u32> = Heap::new();
+    let s = heap.alloc_str("shared");
+    let perm = heap.alloc_perm(s);
+    let stack = heap.push_root(s);
+    heap.collect();
+    assert_eq!(heap.perm(perm), heap.root(stack), "copied exactly once");
+    assert_eq!(heap.len(), 1);
+}

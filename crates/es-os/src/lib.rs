@@ -1,0 +1,206 @@
+//! The UNIX substrate for the es shell reproduction.
+//!
+//! The paper's shell sits directly on UNIX: processes, file
+//! descriptors, pipes, a filesystem, signals, and a tree of external
+//! programs (`cat`, `tr`, `sort`, ...). A faithful *and deterministic*
+//! reproduction needs that substrate under our control, so this crate
+//! provides two backends behind the [`Os`] trait:
+//!
+//! * [`SimOs`] — a simulated kernel: in-memory VFS ([`vfs::Vfs`]),
+//!   descriptor table, unbounded byte-buffer pipes, a virtual clock
+//!   with per-child rusage (so the paper's Figure 1 `time` output
+//!   reproduces exactly), a fake process table, signal delivery, and
+//!   ~25 simulated coreutils registered as in-process programs.
+//!   All tests and benchmarks run on this backend.
+//! * [`RealOs`] — a thin `std::fs`/`std::process` backend so the `es`
+//!   binary is usable as an actual shell. Best-effort: pipes are
+//!   staged through buffers rather than real kernel pipes.
+//!
+//! ## Why simulation preserves the paper's behaviour
+//!
+//! Es only observes the OS through byte streams, exit statuses, errno
+//! strings, and rusage numbers. The simulator exposes the same
+//! interface and failure modes (ENOENT, EEXIST, ...), so every shell
+//! code path the paper discusses — redirection, pipes, spoofed hooks,
+//! `%pathsearch`, `fork`, signals-as-exceptions — exercises identically.
+//! Timing *shapes* are preserved by charging virtual time per byte
+//! processed (see [`clock`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use es_os::{Os, SimOs, OpenMode};
+//!
+//! let mut os = SimOs::new();
+//! os.vfs_mut().put_file("/tmp/greeting", b"hello, world\n").unwrap();
+//! let fd = os.open("/tmp/greeting", OpenMode::Read).unwrap();
+//! let mut buf = [0u8; 64];
+//! let n = os.read(fd, &mut buf).unwrap();
+//! assert_eq!(&buf[..n], b"hello, world\n");
+//! ```
+
+pub mod clock;
+pub mod error;
+pub mod programs;
+pub mod real;
+pub mod sim;
+pub mod vfs;
+
+#[cfg(test)]
+mod real_tests;
+#[cfg(test)]
+mod tests;
+
+pub use clock::Rusage;
+pub use error::{OsError, OsResult};
+pub use real::RealOs;
+pub use sim::{Desc, SimOs};
+pub use vfs::Vfs;
+
+/// How a file should be opened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpenMode {
+    /// Read-only; the file must exist (`%open`, `<`).
+    Read,
+    /// Write-only; create or truncate (`%create`, `>`).
+    Write,
+    /// Write-only; create if missing, position at end (`%append`, `>>`).
+    Append,
+}
+
+/// A UNIX signal, delivered to the shell as an exception
+/// (the paper maps signals onto the exception mechanism).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Signal {
+    /// Interrupt (^C).
+    Int,
+    /// Termination request.
+    Term,
+    /// Hangup.
+    Hup,
+    /// Quit.
+    Quit,
+    /// Uncatchable kill; the shell exits.
+    Kill,
+}
+
+impl Signal {
+    /// The lowercase exception name es uses (`sigint`, ...).
+    pub fn name(self) -> &'static str {
+        match self {
+            Signal::Int => "sigint",
+            Signal::Term => "sigterm",
+            Signal::Hup => "sighup",
+            Signal::Quit => "sigquit",
+            Signal::Kill => "sigkill",
+        }
+    }
+
+    /// Parses `-9` / `-KILL` / `-sigint` style designators.
+    pub fn parse(s: &str) -> Option<Signal> {
+        match s.trim_start_matches('-').to_ascii_lowercase().as_str() {
+            "2" | "int" | "sigint" => Some(Signal::Int),
+            "15" | "term" | "sigterm" => Some(Signal::Term),
+            "1" | "hup" | "sighup" => Some(Signal::Hup),
+            "3" | "quit" | "sigquit" => Some(Signal::Quit),
+            "9" | "kill" | "sigkill" => Some(Signal::Kill),
+            _ => None,
+        }
+    }
+}
+
+/// The kernel interface the es interpreter needs.
+///
+/// Deliberately small: the shell only ever opens/creates files, dups
+/// and closes descriptors, reads/writes bytes, makes pipes, runs
+/// external programs with an explicit fd layout, changes directory,
+/// inspects the filesystem (for `%pathsearch` and glob expansion),
+/// reads the clock and child rusage (for `time`), and polls for
+/// signals. Everything else in the paper is built *inside* the shell.
+pub trait Os {
+    /// Opens `path` (relative to [`Os::cwd`]) in the given mode.
+    fn open(&mut self, path: &str, mode: OpenMode) -> OsResult<Desc>;
+    /// Creates a pipe; returns `(read_end, write_end)`.
+    fn pipe(&mut self) -> OsResult<(Desc, Desc)>;
+    /// Duplicates a descriptor (shares the open-file description).
+    fn dup(&mut self, d: Desc) -> OsResult<Desc>;
+    /// Closes a descriptor.
+    fn close(&mut self, d: Desc) -> OsResult<()>;
+    /// Reads into `buf`; 0 means end-of-file.
+    fn read(&mut self, d: Desc, buf: &mut [u8]) -> OsResult<usize>;
+    /// Writes `data`; returns bytes written.
+    fn write(&mut self, d: Desc, data: &[u8]) -> OsResult<usize>;
+    /// Runs an external program to completion and returns its exit
+    /// status. `fds` lays out the child's descriptor table as
+    /// `(child_fd, parent_desc)` pairs.
+    fn run(
+        &mut self,
+        argv: &[String],
+        env: &[(String, String)],
+        fds: &[(u32, Desc)],
+    ) -> OsResult<i32>;
+    /// Changes the current directory.
+    fn chdir(&mut self, path: &str) -> OsResult<()>;
+    /// The current directory (absolute).
+    fn cwd(&self) -> String;
+    /// Sorted names in a directory (for glob expansion and `ls`).
+    fn read_dir(&self, path: &str) -> OsResult<Vec<String>>;
+    /// Does `path` name a regular file?
+    fn is_file(&self, path: &str) -> bool;
+    /// Does `path` name a directory?
+    fn is_dir(&self, path: &str) -> bool;
+    /// Is `path` an executable file? (`%pathsearch` uses this.)
+    fn is_executable(&self, path: &str) -> bool;
+    /// Virtual (or real) nanoseconds since the backend's epoch.
+    fn now_ns(&self) -> u64;
+    /// Cumulative rusage of all children so far (`time` diffs this).
+    fn children_rusage(&self) -> Rusage;
+    /// Takes one pending signal, if any. The interpreter polls this
+    /// between commands and converts it into a `signal` exception.
+    fn take_signal(&mut self) -> Option<Signal>;
+    /// The process environment the shell was started with.
+    fn initial_env(&self) -> Vec<(String, String)>;
+    /// Merges a forked child kernel's observable effects back into the
+    /// parent. The shell's `fork` clones the whole kernel and runs the
+    /// child to completion; in a real kernel the filesystem, terminal,
+    /// clock and process table are *shared*, so the parent adopts the
+    /// child's kernel state (keeping only its own working directory).
+    fn absorb_fork(&mut self, child: Self)
+    where
+        Self: Sized;
+}
+
+/// The descriptor numbers of the shell's standard streams; both
+/// backends pre-open these.
+pub const STDIN: Desc = Desc(0);
+/// Standard output descriptor.
+pub const STDOUT: Desc = Desc(1);
+/// Standard error descriptor.
+pub const STDERR: Desc = Desc(2);
+
+/// Reads everything from a descriptor (convenience built on
+/// [`Os::read`]).
+pub fn read_all<O: Os + ?Sized>(os: &mut O, d: Desc) -> OsResult<Vec<u8>> {
+    let mut out = Vec::new();
+    let mut buf = [0u8; 4096];
+    loop {
+        let n = os.read(d, &mut buf)?;
+        if n == 0 {
+            return Ok(out);
+        }
+        out.extend_from_slice(&buf[..n]);
+    }
+}
+
+/// Writes everything to a descriptor (convenience built on
+/// [`Os::write`]).
+pub fn write_all<O: Os + ?Sized>(os: &mut O, d: Desc, mut data: &[u8]) -> OsResult<()> {
+    while !data.is_empty() {
+        let n = os.write(d, data)?;
+        if n == 0 {
+            return Err(OsError::Io("write returned 0".into()));
+        }
+        data = &data[n..];
+    }
+    Ok(())
+}

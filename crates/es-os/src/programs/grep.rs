@@ -1,0 +1,106 @@
+//! `grep` — line filtering with the es-regex engine.
+
+use super::{lines_of, ProcCtx};
+use es_regex::Regex;
+
+/// `grep [-v] [-c] [-n] [-i] pattern [file...]`.
+///
+/// Exit status follows the real tool: 0 if anything matched, 1 if
+/// nothing did, 2 on a bad pattern — the paper's pipelines rely on
+/// grep's status feeding `&&` and `if`.
+pub(super) fn grep(ctx: &mut ProcCtx) -> i32 {
+    let mut invert = false;
+    let mut count = false;
+    let mut number = false;
+    let mut ignore_case = false;
+    let mut operands = Vec::new();
+    for arg in ctx.args().to_vec() {
+        match arg.as_str() {
+            "-v" => invert = true,
+            "-c" => count = true,
+            "-n" => number = true,
+            "-i" => ignore_case = true,
+            other => operands.push(other.to_string()),
+        }
+    }
+    if operands.is_empty() {
+        return ctx.fail("usage: grep [-vcni] pattern [file...]");
+    }
+    let raw_pattern = operands.remove(0);
+    let pattern = if ignore_case {
+        case_fold_pattern(&raw_pattern)
+    } else {
+        raw_pattern.clone()
+    };
+    let re = match Regex::new(&pattern) {
+        Ok(r) => r,
+        Err(e) => {
+            ctx.fail(&e.to_string());
+            return 2;
+        }
+    };
+    let mut matched_any = false;
+    let process = |ctx: &mut ProcCtx, data: &[u8], label: Option<&str>| {
+        let mut hits = 0usize;
+        let mut out = String::new();
+        for (i, line) in lines_of(data).iter().enumerate() {
+            let subject = if ignore_case {
+                line.to_ascii_lowercase()
+            } else {
+                line.clone()
+            };
+            if re.is_match(&subject) != invert {
+                hits += 1;
+                if !count {
+                    if let Some(name) = label {
+                        out.push_str(name);
+                        out.push(':');
+                    }
+                    if number {
+                        out.push_str(&format!("{}:", i + 1));
+                    }
+                    out.push_str(line);
+                    out.push('\n');
+                }
+            }
+        }
+        if count {
+            if let Some(name) = label {
+                out.push_str(&format!("{name}:{hits}\n"));
+            } else {
+                out.push_str(&format!("{hits}\n"));
+            }
+        }
+        let _ = ctx.write_fd(1, out.as_bytes());
+        hits > 0
+    };
+    if operands.is_empty() {
+        let data = ctx.stdin_all();
+        matched_any = process(ctx, &data, None);
+    } else {
+        let many = operands.len() > 1;
+        for path in &operands {
+            match ctx.read_file(path) {
+                Ok(data) => {
+                    let label = if many { Some(path.as_str()) } else { None };
+                    matched_any |= process(ctx, &data, label);
+                }
+                Err(e) => {
+                    ctx.fail(&e.to_string());
+                    return 2;
+                }
+            }
+        }
+    }
+    if matched_any {
+        0
+    } else {
+        1
+    }
+}
+
+/// Lowercases the literal characters of a pattern (a cheap -i: the
+/// subject is lowercased too). Class ranges are left alone.
+fn case_fold_pattern(p: &str) -> String {
+    p.to_ascii_lowercase()
+}

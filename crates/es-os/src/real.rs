@@ -1,0 +1,323 @@
+//! A best-effort real-OS backend so the `es` binary works as an
+//! actual shell.
+//!
+//! Files and directories use `std::fs`; external commands run through
+//! `std::process`. Pipes are staged through in-memory buffers rather
+//! than kernel pipes (pipeline stages run sequentially, exactly like
+//! the simulator), and child rusage is approximated by wall time —
+//! good enough for interactive use, while all *measurements* in this
+//! repository run on [`crate::SimOs`].
+
+use crate::clock::Rusage;
+use crate::error::{OsError, OsResult};
+use crate::sim::Desc;
+use crate::{OpenMode, Os, Signal};
+use std::fs;
+use std::io::{Read, Write};
+use std::process::{Command, Stdio};
+use std::time::Instant;
+
+#[derive(Debug)]
+enum RealKind {
+    StdIn,
+    StdOut,
+    StdErr,
+    File(fs::File),
+    PipeR(usize),
+    PipeW(usize),
+}
+
+#[derive(Debug)]
+struct RealFile {
+    kind: RealKind,
+    refs: usize,
+}
+
+/// The `std`-backed kernel. See the module docs for fidelity notes.
+#[derive(Debug)]
+pub struct RealOs {
+    files: Vec<Option<RealFile>>,
+    pipes: Vec<Vec<u8>>,
+    start: Instant,
+    children: Rusage,
+}
+
+impl Clone for RealOs {
+    /// Fork support: the clone gets fresh stdio and copies of the
+    /// pipe buffers; open file descriptors are not carried over (a
+    /// documented limitation — measurements run on [`crate::SimOs`],
+    /// whose clone is exact).
+    fn clone(&self) -> Self {
+        let mut fresh = RealOs::new();
+        fresh.pipes = self.pipes.clone();
+        fresh.start = self.start;
+        fresh.children = self.children;
+        fresh
+    }
+}
+
+impl Default for RealOs {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RealOs {
+    /// Creates the backend with 0/1/2 bound to the process streams.
+    pub fn new() -> RealOs {
+        RealOs {
+            files: vec![
+                Some(RealFile { kind: RealKind::StdIn, refs: 1 }),
+                Some(RealFile { kind: RealKind::StdOut, refs: 1 }),
+                Some(RealFile { kind: RealKind::StdErr, refs: 1 }),
+            ],
+            pipes: Vec::new(),
+            start: Instant::now(),
+            children: Rusage::default(),
+        }
+    }
+
+    fn alloc(&mut self, kind: RealKind) -> Desc {
+        for (i, slot) in self.files.iter_mut().enumerate() {
+            if slot.is_none() {
+                *slot = Some(RealFile { kind, refs: 1 });
+                return Desc(i as u32);
+            }
+        }
+        self.files.push(Some(RealFile { kind, refs: 1 }));
+        Desc((self.files.len() - 1) as u32)
+    }
+
+    fn file_mut(&mut self, d: Desc) -> OsResult<&mut RealFile> {
+        self.files
+            .get_mut(d.0 as usize)
+            .and_then(|f| f.as_mut())
+            .ok_or(OsError::BadF)
+    }
+
+    fn io_err(e: std::io::Error) -> OsError {
+        match e.kind() {
+            std::io::ErrorKind::NotFound => OsError::NoEnt(String::new()),
+            std::io::ErrorKind::PermissionDenied => OsError::Access(String::new()),
+            _ => OsError::Io(e.to_string()),
+        }
+    }
+}
+
+impl Os for RealOs {
+    fn open(&mut self, path: &str, mode: OpenMode) -> OsResult<Desc> {
+        let file = match mode {
+            OpenMode::Read => fs::File::open(path),
+            OpenMode::Write => fs::File::create(path),
+            OpenMode::Append => fs::OpenOptions::new().create(true).append(true).open(path),
+        }
+        .map_err(|e| match e.kind() {
+            std::io::ErrorKind::NotFound => OsError::NoEnt(path.into()),
+            std::io::ErrorKind::PermissionDenied => OsError::Access(path.into()),
+            _ => OsError::Io(e.to_string()),
+        })?;
+        Ok(self.alloc(RealKind::File(file)))
+    }
+
+    fn pipe(&mut self) -> OsResult<(Desc, Desc)> {
+        let p = self.pipes.len();
+        self.pipes.push(Vec::new());
+        let r = self.alloc(RealKind::PipeR(p));
+        let w = self.alloc(RealKind::PipeW(p));
+        Ok((r, w))
+    }
+
+    fn dup(&mut self, d: Desc) -> OsResult<Desc> {
+        self.file_mut(d)?.refs += 1;
+        Ok(d)
+    }
+
+    fn close(&mut self, d: Desc) -> OsResult<()> {
+        let idx = d.0 as usize;
+        let f = self
+            .files
+            .get_mut(idx)
+            .and_then(|f| f.as_mut())
+            .ok_or(OsError::BadF)?;
+        f.refs -= 1;
+        if f.refs == 0 {
+            self.files[idx] = None;
+        }
+        Ok(())
+    }
+
+    fn read(&mut self, d: Desc, buf: &mut [u8]) -> OsResult<usize> {
+        let f = self.file_mut(d)?;
+        match &mut f.kind {
+            RealKind::StdIn => std::io::stdin().read(buf).map_err(Self::io_err),
+            RealKind::File(file) => file.read(buf).map_err(Self::io_err),
+            RealKind::PipeR(p) => {
+                let p = *p;
+                let pipe = &mut self.pipes[p];
+                let n = buf.len().min(pipe.len());
+                buf[..n].copy_from_slice(&pipe[..n]);
+                pipe.drain(..n);
+                Ok(n)
+            }
+            _ => Err(OsError::BadF),
+        }
+    }
+
+    fn write(&mut self, d: Desc, data: &[u8]) -> OsResult<usize> {
+        let f = self.file_mut(d)?;
+        match &mut f.kind {
+            RealKind::StdOut => {
+                std::io::stdout().write_all(data).map_err(Self::io_err)?;
+                let _ = std::io::stdout().flush();
+                Ok(data.len())
+            }
+            RealKind::StdErr => {
+                std::io::stderr().write_all(data).map_err(Self::io_err)?;
+                let _ = std::io::stderr().flush();
+                Ok(data.len())
+            }
+            RealKind::File(file) => file.write(data).map_err(Self::io_err),
+            RealKind::PipeW(p) => {
+                let p = *p;
+                self.pipes[p].extend_from_slice(data);
+                Ok(data.len())
+            }
+            _ => Err(OsError::BadF),
+        }
+    }
+
+    fn run(
+        &mut self,
+        argv: &[String],
+        env: &[(String, String)],
+        fds: &[(u32, Desc)],
+    ) -> OsResult<i32> {
+        let path = argv.first().ok_or_else(|| OsError::Inval("empty argv".into()))?;
+        let mut cmd = Command::new(path);
+        cmd.args(&argv[1..]);
+        cmd.env_clear();
+        for (k, v) in env {
+            cmd.env(k, v);
+        }
+        let lookup = |fds: &[(u32, Desc)], fd: u32| fds.iter().find(|(n, _)| *n == fd).map(|(_, d)| *d);
+        // Stage stdin: console inherits; files/pipes are drained into
+        // a buffer handed to the child.
+        let stdin_data: Option<Vec<u8>> = match lookup(fds, 0) {
+            Some(d) if d == Desc(0) => None,
+            Some(d) => Some(crate::read_all(self, d)?),
+            None => Some(Vec::new()),
+        };
+        cmd.stdin(if stdin_data.is_some() {
+            Stdio::piped()
+        } else {
+            Stdio::inherit()
+        });
+        let out_desc = lookup(fds, 1);
+        let err_desc = lookup(fds, 2);
+        cmd.stdout(if out_desc == Some(Desc(1)) {
+            Stdio::inherit()
+        } else {
+            Stdio::piped()
+        });
+        cmd.stderr(if err_desc == Some(Desc(2)) || err_desc.is_none() {
+            Stdio::inherit()
+        } else {
+            Stdio::piped()
+        });
+        let began = Instant::now();
+        let mut child = cmd.spawn().map_err(|e| match e.kind() {
+            std::io::ErrorKind::NotFound => OsError::NoEnt(path.clone()),
+            std::io::ErrorKind::PermissionDenied => OsError::Access(path.clone()),
+            _ => OsError::Io(e.to_string()),
+        })?;
+        if let (Some(data), Some(mut stdin)) = (stdin_data, child.stdin.take()) {
+            let _ = stdin.write_all(&data);
+        }
+        let output = child
+            .wait_with_output()
+            .map_err(|e| OsError::Io(e.to_string()))?;
+        if let Some(d) = out_desc {
+            if d != Desc(1) {
+                crate::write_all(self, d, &output.stdout)?;
+            }
+        }
+        if let Some(d) = err_desc {
+            if d != Desc(2) {
+                crate::write_all(self, d, &output.stderr)?;
+            }
+        }
+        // Approximate child CPU as wall time (measurements use SimOs).
+        let elapsed = began.elapsed().as_nanos() as u64;
+        self.children.user_ns += elapsed / 2;
+        self.children.sys_ns += elapsed / 2;
+        Ok(output.status.code().unwrap_or(128))
+    }
+
+    fn chdir(&mut self, path: &str) -> OsResult<()> {
+        std::env::set_current_dir(path).map_err(|e| match e.kind() {
+            std::io::ErrorKind::NotFound => OsError::NoEnt(path.into()),
+            _ => OsError::Io(e.to_string()),
+        })
+    }
+
+    fn cwd(&self) -> String {
+        std::env::current_dir()
+            .map(|p| p.display().to_string())
+            .unwrap_or_else(|_| "/".into())
+    }
+
+    fn read_dir(&self, path: &str) -> OsResult<Vec<String>> {
+        let mut names: Vec<String> = fs::read_dir(path)
+            .map_err(|e| match e.kind() {
+                std::io::ErrorKind::NotFound => OsError::NoEnt(path.into()),
+                _ => OsError::Io(e.to_string()),
+            })?
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .collect();
+        names.sort();
+        Ok(names)
+    }
+
+    fn is_file(&self, path: &str) -> bool {
+        fs::metadata(path).map(|m| m.is_file()).unwrap_or(false)
+    }
+
+    fn is_dir(&self, path: &str) -> bool {
+        fs::metadata(path).map(|m| m.is_dir()).unwrap_or(false)
+    }
+
+    fn is_executable(&self, path: &str) -> bool {
+        #[cfg(unix)]
+        {
+            use std::os::unix::fs::PermissionsExt;
+            fs::metadata(path)
+                .map(|m| m.is_file() && m.permissions().mode() & 0o111 != 0)
+                .unwrap_or(false)
+        }
+        #[cfg(not(unix))]
+        {
+            self.is_file(path)
+        }
+    }
+
+    fn now_ns(&self) -> u64 {
+        self.start.elapsed().as_nanos() as u64
+    }
+
+    fn children_rusage(&self) -> Rusage {
+        self.children
+    }
+
+    fn take_signal(&mut self) -> Option<Signal> {
+        None // Signal handling needs libc; the simulator models it instead.
+    }
+
+    fn initial_env(&self) -> Vec<(String, String)> {
+        std::env::vars().collect()
+    }
+
+    fn absorb_fork(&mut self, _child: Self) {
+        // The real filesystem and terminal are already shared.
+    }
+}

@@ -1,0 +1,83 @@
+//! Tests for the real-OS backend (run against a temp directory and
+//! real /bin tools where available).
+
+use crate::{read_all, write_all, OpenMode, Os, RealOs};
+
+fn tmpdir() -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("es-real-test-{}", std::process::id()));
+    let _ = std::fs::create_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn real_file_roundtrip() {
+    let mut os = RealOs::new();
+    let path = tmpdir().join("roundtrip.txt");
+    let path = path.to_str().unwrap();
+    let fd = os.open(path, OpenMode::Write).unwrap();
+    write_all(&mut os, fd, b"real bytes\n").unwrap();
+    os.close(fd).unwrap();
+    let fd = os.open(path, OpenMode::Read).unwrap();
+    assert_eq!(read_all(&mut os, fd).unwrap(), b"real bytes\n");
+    os.close(fd).unwrap();
+    let fd = os.open(path, OpenMode::Append).unwrap();
+    write_all(&mut os, fd, b"more\n").unwrap();
+    os.close(fd).unwrap();
+    let fd = os.open(path, OpenMode::Read).unwrap();
+    assert_eq!(read_all(&mut os, fd).unwrap(), b"real bytes\nmore\n");
+    os.close(fd).unwrap();
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn real_missing_file_is_enoent() {
+    let mut os = RealOs::new();
+    let err = os.open("/definitely/not/here", OpenMode::Read).unwrap_err();
+    assert_eq!(err.strerror(), "No such file or directory");
+}
+
+#[test]
+fn real_pipes_buffer() {
+    let mut os = RealOs::new();
+    let (r, w) = os.pipe().unwrap();
+    write_all(&mut os, w, b"through").unwrap();
+    os.close(w).unwrap();
+    assert_eq!(read_all(&mut os, r).unwrap(), b"through");
+}
+
+#[test]
+fn real_fs_inspection() {
+    let os = RealOs::new();
+    assert!(os.is_dir("/"));
+    assert!(!os.is_file("/"));
+    let names = os.read_dir("/").unwrap();
+    assert!(!names.is_empty());
+}
+
+#[cfg(unix)]
+#[test]
+fn real_run_external_program() {
+    let mut os = RealOs::new();
+    if !os.is_executable("/bin/echo") {
+        return; // minimal containers may lack it
+    }
+    let (r, w) = os.pipe().unwrap();
+    let status = os
+        .run(
+            &["/bin/echo".into(), "real".into(), "exec".into()],
+            &[("PATH".into(), "/bin".into())],
+            &[(1, w)],
+        )
+        .unwrap();
+    os.close(w).unwrap();
+    assert_eq!(status, 0);
+    assert_eq!(read_all(&mut os, r).unwrap(), b"real exec\n");
+}
+
+#[test]
+fn real_clock_advances() {
+    let os = RealOs::new();
+    let a = os.now_ns();
+    let b = os.now_ns();
+    assert!(b >= a);
+}

@@ -1,0 +1,545 @@
+//! The simulated kernel: descriptors, pipes, processes, clock, signals.
+
+use crate::clock::{
+    civil_from_ns, Rusage, BYTE_SYS_NS, BYTE_USER_NS, EXEC_SYS_NS, EXEC_USER_NS, SYSCALL_SYS_NS,
+};
+use crate::error::{OsError, OsResult};
+use crate::programs::{self, ProgramFn};
+use crate::vfs::Vfs;
+use crate::{OpenMode, Os, Signal};
+use std::collections::{BTreeMap, VecDeque};
+use std::io::{Read as _, Write as _};
+
+/// A kernel descriptor: an index into the open-description table.
+/// Descriptors are reference counted ([`Os::dup`] shares the
+/// description; each `dup` needs a matching `close`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Desc(pub u32);
+
+/// What an open description refers to.
+#[derive(Debug, Clone)]
+enum FileKind {
+    /// A VFS file with a cursor.
+    Vnode {
+        ino: crate::vfs::Ino,
+        offset: usize,
+        readable: bool,
+        writable: bool,
+        append: bool,
+    },
+    /// Read end of pipe `n`.
+    PipeR(usize),
+    /// Write end of pipe `n`.
+    PipeW(usize),
+    /// The shell's standard input (scripted or interactive).
+    ConsoleIn,
+    /// The shell's standard output (captured, optionally echoed).
+    ConsoleOut,
+    /// The shell's standard error (captured, optionally echoed).
+    ConsoleErr,
+}
+
+#[derive(Debug, Clone)]
+struct OpenFile {
+    kind: FileKind,
+    refs: usize,
+}
+
+#[derive(Debug, Clone, Default)]
+struct Pipe {
+    buf: VecDeque<u8>,
+    writers: usize,
+    readers: usize,
+}
+
+/// One row of the fake process table (for `ps` / `kill` / the paper's
+/// `ps aux | grep '^byron' | ... | xargs kill -9` example).
+#[derive(Debug, Clone)]
+pub struct ProcEntry {
+    /// Owner login name.
+    pub user: String,
+    /// Process id.
+    pub pid: i32,
+    /// Command line shown by `ps`.
+    pub command: String,
+}
+
+/// The simulated UNIX kernel. See the crate docs for scope.
+///
+/// `Clone` deep-copies the whole kernel (filesystem, descriptors,
+/// pipes, clock); the interpreter's `fork` clones the kernel together
+/// with the shell state, giving true fork semantics.
+#[derive(Clone)]
+pub struct SimOs {
+    vfs: Vfs,
+    cwd: String,
+    files: Vec<Option<OpenFile>>,
+    pipes: Vec<Pipe>,
+    programs: BTreeMap<&'static str, ProgramFn>,
+    /// Virtual nanoseconds since the 1993-01-25 epoch.
+    real_ns: u64,
+    children: Rusage,
+    console_in: VecDeque<u8>,
+    console_out: Vec<u8>,
+    console_err: Vec<u8>,
+    /// Mirror console output to the real stdout/stderr, and fall back
+    /// to reading real stdin when the scripted input runs dry — this is
+    /// what makes `es --sim` usable interactively.
+    interactive: bool,
+    signals: VecDeque<Signal>,
+    procs: Vec<ProcEntry>,
+    next_pid: i32,
+    initial_env: Vec<(String, String)>,
+    /// The shell's own pid in the fake process table.
+    pub shell_pid: i32,
+    shell_sys_ns: u64,
+}
+
+impl std::fmt::Debug for SimOs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimOs")
+            .field("cwd", &self.cwd)
+            .field("real_ns", &self.real_ns)
+            .field("open_files", &self.files.iter().flatten().count())
+            .finish()
+    }
+}
+
+impl Default for SimOs {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SimOs {
+    /// Boots a kernel with the standard filesystem layout (`/bin` full
+    /// of simulated coreutils, `/tmp`, `/usr/tmp`, `/home/user`), a
+    /// fake process table, and descriptors 0/1/2 pre-opened on the
+    /// console.
+    pub fn new() -> SimOs {
+        let mut vfs = Vfs::new();
+        for dir in ["/bin", "/usr/bin", "/tmp", "/usr/tmp", "/home/user", "/etc"] {
+            vfs.mkdir_all(dir).expect("fresh vfs accepts mkdir");
+        }
+        let mut programs = BTreeMap::new();
+        programs::install_all(&mut programs);
+        for name in programs.keys() {
+            vfs.put_program(&format!("/bin/{name}"), name)
+                .expect("fresh vfs accepts programs");
+        }
+        vfs.put_file("/etc/motd", b"welcome to the es simulation\n")
+            .expect("fresh vfs accepts files");
+        let files = vec![
+            Some(OpenFile { kind: FileKind::ConsoleIn, refs: 1 }),
+            Some(OpenFile { kind: FileKind::ConsoleOut, refs: 1 }),
+            Some(OpenFile { kind: FileKind::ConsoleErr, refs: 1 }),
+        ];
+        let procs = vec![
+            ProcEntry { user: "root".into(), pid: 1, command: "init".into() },
+            ProcEntry { user: "root".into(), pid: 74, command: "update".into() },
+            ProcEntry { user: "byron".into(), pid: 4523, command: "rc".into() },
+            ProcEntry { user: "byron".into(), pid: 4619, command: "vi paper.ms".into() },
+            ProcEntry { user: "haahr".into(), pid: 5000, command: "es".into() },
+        ];
+        SimOs {
+            vfs,
+            cwd: "/home/user".into(),
+            files,
+            pipes: Vec::new(),
+            programs,
+            real_ns: 0,
+            children: Rusage::default(),
+            console_in: VecDeque::new(),
+            console_out: Vec::new(),
+            console_err: Vec::new(),
+            interactive: false,
+            signals: VecDeque::new(),
+            procs,
+            next_pid: 6000,
+            shell_sys_ns: 0,
+            initial_env: vec![
+                ("HOME".into(), "/home/user".into()),
+                ("PATH".into(), "/bin:/usr/bin".into()),
+                ("TERM".into(), "vt100".into()),
+            ],
+            shell_pid: 5000,
+        }
+    }
+
+    /// Direct access to the filesystem (test and example setup).
+    pub fn vfs_mut(&mut self) -> &mut Vfs {
+        &mut self.vfs
+    }
+
+    /// Read-only access to the filesystem.
+    pub fn vfs(&self) -> &Vfs {
+        &self.vfs
+    }
+
+    /// Queues bytes on the shell's standard input.
+    pub fn push_input(&mut self, text: &str) {
+        self.console_in.extend(text.bytes());
+    }
+
+    /// Takes and clears everything the shell wrote to stdout.
+    pub fn take_output(&mut self) -> String {
+        String::from_utf8_lossy(&std::mem::take(&mut self.console_out)).into_owned()
+    }
+
+    /// Takes and clears everything the shell wrote to stderr.
+    pub fn take_error(&mut self) -> String {
+        String::from_utf8_lossy(&std::mem::take(&mut self.console_err)).into_owned()
+    }
+
+    /// Enables interactive mode: console output is echoed to the real
+    /// stdout/stderr and console input falls back to the real stdin.
+    pub fn set_interactive(&mut self, on: bool) {
+        self.interactive = on;
+    }
+
+    /// Replaces the environment reported by [`Os::initial_env`].
+    pub fn set_initial_env(&mut self, env: Vec<(String, String)>) {
+        self.initial_env = env;
+    }
+
+    /// Delivers a signal to the shell (tests use this to model ^C).
+    pub fn raise_signal(&mut self, sig: Signal) {
+        self.signals.push_back(sig);
+    }
+
+    /// The fake process table (shared with `ps`/`kill`).
+    pub fn procs(&self) -> &[ProcEntry] {
+        &self.procs
+    }
+
+    /// Advances the virtual clock (also used by `sleep`).
+    pub fn advance_ns(&mut self, ns: u64) {
+        self.real_ns += ns;
+    }
+
+    /// Borrowed current directory (avoids a clone inside ProcCtx).
+    pub(crate) fn cwd_ref(&self) -> &str {
+        &self.cwd
+    }
+
+    // ---- internals shared with ProcCtx -------------------------------------
+
+    fn file(&self, d: Desc) -> OsResult<&OpenFile> {
+        self.files
+            .get(d.0 as usize)
+            .and_then(|f| f.as_ref())
+            .ok_or(OsError::BadF)
+    }
+
+    fn charge_sys(&mut self, bytes: usize) {
+        let ns = SYSCALL_SYS_NS + BYTE_SYS_NS * bytes as u64;
+        self.real_ns += ns;
+        self.shell_sys_ns += ns;
+    }
+
+    pub(crate) fn do_read(&mut self, d: Desc, buf: &mut [u8]) -> OsResult<usize> {
+        let kind = self.file(d)?.kind.clone();
+        let n = match kind {
+            FileKind::Vnode { ino, offset, readable, .. } => {
+                if !readable {
+                    return Err(OsError::BadF);
+                }
+                let n = self.vfs.read_at(ino, offset, buf);
+                if let Some(Some(of)) = self.files.get_mut(d.0 as usize) {
+                    if let FileKind::Vnode { offset, .. } = &mut of.kind {
+                        *offset += n;
+                    }
+                }
+                n
+            }
+            FileKind::PipeR(p) => {
+                let pipe = &mut self.pipes[p];
+                let n = buf.len().min(pipe.buf.len());
+                for b in buf.iter_mut().take(n) {
+                    *b = pipe.buf.pop_front().expect("len checked");
+                }
+                n
+            }
+            FileKind::PipeW(_) | FileKind::ConsoleOut | FileKind::ConsoleErr => {
+                return Err(OsError::BadF)
+            }
+            FileKind::ConsoleIn => {
+                let n = buf.len().min(self.console_in.len());
+                if n == 0 && self.interactive {
+                    // Fall back to the real stdin so the REPL works.
+                    return std::io::stdin()
+                        .read(buf)
+                        .map_err(|e| OsError::Io(e.to_string()));
+                }
+                for b in buf.iter_mut().take(n) {
+                    *b = self.console_in.pop_front().expect("len checked");
+                }
+                n
+            }
+        };
+        self.charge_sys(n);
+        Ok(n)
+    }
+
+    pub(crate) fn do_write(&mut self, d: Desc, data: &[u8]) -> OsResult<usize> {
+        let kind = self.file(d)?.kind.clone();
+        match kind {
+            FileKind::Vnode { ino, offset, writable, append, .. } => {
+                if !writable {
+                    return Err(OsError::BadF);
+                }
+                let at = if append { self.vfs.file_len(ino) } else { offset };
+                self.vfs.write_at(ino, at, data);
+                if let Some(Some(of)) = self.files.get_mut(d.0 as usize) {
+                    if let FileKind::Vnode { offset, .. } = &mut of.kind {
+                        *offset = at + data.len();
+                    }
+                }
+            }
+            FileKind::PipeW(p) => {
+                let pipe = &mut self.pipes[p];
+                if pipe.readers == 0 {
+                    return Err(OsError::Pipe);
+                }
+                pipe.buf.extend(data.iter().copied());
+            }
+            FileKind::ConsoleOut => {
+                self.console_out.extend_from_slice(data);
+                if self.interactive {
+                    let _ = std::io::stdout().write_all(data);
+                    let _ = std::io::stdout().flush();
+                }
+            }
+            FileKind::ConsoleErr => {
+                self.console_err.extend_from_slice(data);
+                if self.interactive {
+                    let _ = std::io::stderr().write_all(data);
+                    let _ = std::io::stderr().flush();
+                }
+            }
+            FileKind::PipeR(_) | FileKind::ConsoleIn => return Err(OsError::BadF),
+        }
+        self.charge_sys(data.len());
+        Ok(data.len())
+    }
+
+    fn alloc_desc(&mut self, kind: FileKind) -> Desc {
+        // Reuse the lowest free slot, like a real descriptor table.
+        for (i, slot) in self.files.iter_mut().enumerate() {
+            if slot.is_none() {
+                *slot = Some(OpenFile { kind, refs: 1 });
+                return Desc(i as u32);
+            }
+        }
+        self.files.push(Some(OpenFile { kind, refs: 1 }));
+        Desc((self.files.len() - 1) as u32)
+    }
+
+    /// Removes pids from the fake process table; returns how many were
+    /// found. Signals aimed at the shell's own pid are queued instead.
+    pub(crate) fn kill_pids(&mut self, pids: &[i32], sig: Signal) -> usize {
+        let mut hit = 0;
+        for &pid in pids {
+            if pid == self.shell_pid {
+                self.signals.push_back(sig);
+                hit += 1;
+                continue;
+            }
+            let before = self.procs.len();
+            self.procs.retain(|p| p.pid != pid);
+            if self.procs.len() != before {
+                hit += 1;
+            }
+        }
+        hit
+    }
+
+    /// Formats the virtual clock for `date`: `(y, m, d, h, min, s)`.
+    pub(crate) fn civil_now(&self) -> (i64, u32, u32, u32, u32, u32) {
+        civil_from_ns(self.real_ns)
+    }
+
+    /// System time charged to the shell itself (not children); `time`
+    /// reports child usage only, like getrusage(RUSAGE_CHILDREN).
+    pub fn shell_sys_ns(&self) -> u64 {
+        self.shell_sys_ns
+    }
+}
+
+impl Os for SimOs {
+    fn open(&mut self, path: &str, mode: OpenMode) -> OsResult<Desc> {
+        let (ino, readable, writable, append) = match mode {
+            OpenMode::Read => {
+                let ino = self.vfs.lookup(path, &self.cwd)?;
+                if self.vfs.is_dir(path, &self.cwd) {
+                    return Err(OsError::IsDir(path.to_string()));
+                }
+                (ino, true, false, false)
+            }
+            OpenMode::Write => {
+                let cwd = self.cwd.clone();
+                let ino = self.vfs.create_file(path, &cwd, false)?;
+                self.vfs.truncate(ino);
+                (ino, false, true, false)
+            }
+            OpenMode::Append => {
+                let cwd = self.cwd.clone();
+                let ino = self.vfs.create_file(path, &cwd, false)?;
+                (ino, false, true, true)
+            }
+        };
+        self.charge_sys(0);
+        Ok(self.alloc_desc(FileKind::Vnode {
+            ino,
+            offset: 0,
+            readable,
+            writable,
+            append,
+        }))
+    }
+
+    fn pipe(&mut self) -> OsResult<(Desc, Desc)> {
+        let p = self.pipes.len();
+        self.pipes.push(Pipe {
+            buf: VecDeque::new(),
+            writers: 1,
+            readers: 1,
+        });
+        let r = self.alloc_desc(FileKind::PipeR(p));
+        let w = self.alloc_desc(FileKind::PipeW(p));
+        self.charge_sys(0);
+        Ok((r, w))
+    }
+
+    fn dup(&mut self, d: Desc) -> OsResult<Desc> {
+        let kind = self.file(d)?.kind.clone();
+        if let Some(Some(of)) = self.files.get_mut(d.0 as usize) {
+            of.refs += 1;
+        }
+        match kind {
+            FileKind::PipeR(p) => self.pipes[p].readers += 1,
+            FileKind::PipeW(p) => self.pipes[p].writers += 1,
+            _ => {}
+        }
+        Ok(d)
+    }
+
+    fn close(&mut self, d: Desc) -> OsResult<()> {
+        let idx = d.0 as usize;
+        let of = self
+            .files
+            .get_mut(idx)
+            .and_then(|f| f.as_mut())
+            .ok_or(OsError::BadF)?;
+        of.refs -= 1;
+        let kind = of.kind.clone();
+        let drop_it = of.refs == 0;
+        match kind {
+            FileKind::PipeR(p) => self.pipes[p].readers -= 1,
+            FileKind::PipeW(p) => self.pipes[p].writers -= 1,
+            _ => {}
+        }
+        if drop_it {
+            self.files[idx] = None;
+        }
+        Ok(())
+    }
+
+    fn read(&mut self, d: Desc, buf: &mut [u8]) -> OsResult<usize> {
+        self.do_read(d, buf)
+    }
+
+    fn write(&mut self, d: Desc, data: &[u8]) -> OsResult<usize> {
+        self.do_write(d, data)
+    }
+
+    fn run(
+        &mut self,
+        argv: &[String],
+        env: &[(String, String)],
+        fds: &[(u32, Desc)],
+    ) -> OsResult<i32> {
+        let path = argv.first().ok_or_else(|| OsError::Inval("empty argv".into()))?;
+        let ino = self.vfs.lookup(path, &self.cwd)?;
+        let key = match self.vfs.program_of(ino) {
+            Some(k) => k.to_string(),
+            None if self.vfs.is_executable(path, &self.cwd) => {
+                return Err(OsError::NoExec(path.clone()))
+            }
+            None => return Err(OsError::Access(path.clone())),
+        };
+        let prog = *self
+            .programs
+            .get(key.as_str())
+            .ok_or_else(|| OsError::NoExec(path.clone()))?;
+        let pid = self.next_pid;
+        self.next_pid += 1;
+        let mut ctx = programs::ProcCtx::new(self, argv, env, fds, pid);
+        let status = prog(&mut ctx);
+        let bytes = ctx.bytes_io();
+        let extra = ctx.extra_user_ns();
+        let usage = Rusage {
+            user_ns: EXEC_USER_NS + BYTE_USER_NS * bytes + extra,
+            sys_ns: EXEC_SYS_NS + SYSCALL_SYS_NS * ctx.io_calls() + BYTE_SYS_NS * bytes,
+        };
+        self.children += usage;
+        self.real_ns += usage.total_ns();
+        Ok(status)
+    }
+
+    fn chdir(&mut self, path: &str) -> OsResult<()> {
+        let ino = self.vfs.lookup(path, &self.cwd)?;
+        if self.vfs.program_of(ino).is_some() || self.vfs.is_file(path, &self.cwd) {
+            return Err(OsError::NotDir(path.to_string()));
+        }
+        let comps = Vfs::normalize(path, &self.cwd);
+        self.cwd = format!("/{}", comps.join("/"));
+        Ok(())
+    }
+
+    fn cwd(&self) -> String {
+        self.cwd.clone()
+    }
+
+    fn read_dir(&self, path: &str) -> OsResult<Vec<String>> {
+        self.vfs.read_dir(path, &self.cwd)
+    }
+
+    fn is_file(&self, path: &str) -> bool {
+        self.vfs.is_file(path, &self.cwd)
+    }
+
+    fn is_dir(&self, path: &str) -> bool {
+        self.vfs.is_dir(path, &self.cwd)
+    }
+
+    fn is_executable(&self, path: &str) -> bool {
+        self.vfs.is_executable(path, &self.cwd)
+    }
+
+    fn now_ns(&self) -> u64 {
+        self.real_ns
+    }
+
+    fn children_rusage(&self) -> Rusage {
+        self.children
+    }
+
+    fn take_signal(&mut self) -> Option<Signal> {
+        self.signals.pop_front()
+    }
+
+    fn initial_env(&self) -> Vec<(String, String)> {
+        self.initial_env.clone()
+    }
+
+    fn absorb_fork(&mut self, child: Self) {
+        // Execution is strictly sequential (the child ran to
+        // completion), so the child's kernel state is simply the
+        // newer truth — except the working directory, which a real
+        // fork keeps per-process.
+        let cwd = self.cwd.clone();
+        *self = child;
+        self.cwd = cwd;
+    }
+}

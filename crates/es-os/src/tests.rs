@@ -1,0 +1,600 @@
+//! Integration tests for the simulated kernel and its coreutils.
+
+use crate::{read_all, write_all, OpenMode, Os, OsError, SimOs, Signal, STDIN, STDOUT};
+use proptest::prelude::*;
+
+/// Runs `/bin/<name> args...` with stdin scripted and stdout captured
+/// into a pipe; returns (status, stdout-as-string).
+fn run_prog(os: &mut SimOs, name: &str, args: &[&str], stdin: &str) -> (i32, String) {
+    let (stdin_r, stdin_w) = os.pipe().unwrap();
+    write_all(os, stdin_w, stdin.as_bytes()).unwrap();
+    os.close(stdin_w).unwrap();
+    let (out_r, out_w) = os.pipe().unwrap();
+    let mut argv = vec![format!("/bin/{name}")];
+    argv.extend(args.iter().map(|s| s.to_string()));
+    let env = os.initial_env();
+    let status = os
+        .run(&argv, &env, &[(0, stdin_r), (1, out_w), (2, crate::STDERR)])
+        .unwrap();
+    os.close(out_w).unwrap();
+    let out = read_all(os, out_r).unwrap();
+    os.close(out_r).unwrap();
+    os.close(stdin_r).unwrap();
+    (status, String::from_utf8_lossy(&out).into_owned())
+}
+
+#[test]
+fn open_read_write_roundtrip() {
+    let mut os = SimOs::new();
+    let fd = os.open("/tmp/foo", OpenMode::Write).unwrap();
+    write_all(&mut os, fd, b"hello\n").unwrap();
+    os.close(fd).unwrap();
+    let fd = os.open("/tmp/foo", OpenMode::Read).unwrap();
+    assert_eq!(read_all(&mut os, fd).unwrap(), b"hello\n");
+    os.close(fd).unwrap();
+}
+
+#[test]
+fn write_truncates_append_appends() {
+    let mut os = SimOs::new();
+    let fd = os.open("/tmp/f", OpenMode::Write).unwrap();
+    write_all(&mut os, fd, b"one\n").unwrap();
+    os.close(fd).unwrap();
+    let fd = os.open("/tmp/f", OpenMode::Append).unwrap();
+    write_all(&mut os, fd, b"two\n").unwrap();
+    os.close(fd).unwrap();
+    let fd = os.open("/tmp/f", OpenMode::Read).unwrap();
+    assert_eq!(read_all(&mut os, fd).unwrap(), b"one\ntwo\n");
+    os.close(fd).unwrap();
+    let fd = os.open("/tmp/f", OpenMode::Write).unwrap();
+    os.close(fd).unwrap();
+    let fd = os.open("/tmp/f", OpenMode::Read).unwrap();
+    assert_eq!(read_all(&mut os, fd).unwrap(), b"", "Write truncates");
+    os.close(fd).unwrap();
+}
+
+#[test]
+fn open_missing_file_is_enoent() {
+    let mut os = SimOs::new();
+    assert_eq!(
+        os.open("/no/where", OpenMode::Read),
+        Err(OsError::NoEnt("/no/where".into()))
+    );
+}
+
+#[test]
+fn pipes_carry_bytes_and_eof() {
+    let mut os = SimOs::new();
+    let (r, w) = os.pipe().unwrap();
+    write_all(&mut os, w, b"abc").unwrap();
+    os.close(w).unwrap();
+    assert_eq!(read_all(&mut os, r).unwrap(), b"abc");
+    os.close(r).unwrap();
+}
+
+#[test]
+fn write_to_pipe_without_reader_is_epipe() {
+    let mut os = SimOs::new();
+    let (r, w) = os.pipe().unwrap();
+    os.close(r).unwrap();
+    assert_eq!(os.write(w, b"x"), Err(OsError::Pipe));
+}
+
+#[test]
+fn dup_shares_description() {
+    let mut os = SimOs::new();
+    let (r, w) = os.pipe().unwrap();
+    let w2 = os.dup(w).unwrap();
+    os.close(w).unwrap();
+    // Still one writer: the pipe is not EOF yet conceptually, and the
+    // dup'd descriptor still works.
+    write_all(&mut os, w2, b"via dup").unwrap();
+    os.close(w2).unwrap();
+    assert_eq!(read_all(&mut os, r).unwrap(), b"via dup");
+}
+
+#[test]
+fn chdir_and_cwd() {
+    let mut os = SimOs::new();
+    assert_eq!(os.cwd(), "/home/user");
+    os.chdir("/tmp").unwrap();
+    assert_eq!(os.cwd(), "/tmp");
+    assert_eq!(os.chdir("/temp"), Err(OsError::NoEnt("/temp".into())));
+    assert_eq!(
+        os.chdir("/temp").unwrap_err().to_string(),
+        "/temp: No such file or directory",
+        "the paper's `in /temp` example error text"
+    );
+    os.chdir("..").unwrap();
+    assert_eq!(os.cwd(), "/");
+}
+
+#[test]
+fn console_io_is_scriptable() {
+    let mut os = SimOs::new();
+    os.push_input("typed\n");
+    let mut buf = [0u8; 16];
+    let n = os.read(STDIN, &mut buf).unwrap();
+    assert_eq!(&buf[..n], b"typed\n");
+    write_all(&mut os, STDOUT, b"printed").unwrap();
+    assert_eq!(os.take_output(), "printed");
+    assert_eq!(os.take_output(), "", "take clears");
+}
+
+#[test]
+fn signals_queue_and_drain() {
+    let mut os = SimOs::new();
+    assert_eq!(os.take_signal(), None);
+    os.raise_signal(Signal::Int);
+    os.raise_signal(Signal::Term);
+    assert_eq!(os.take_signal(), Some(Signal::Int));
+    assert_eq!(os.take_signal(), Some(Signal::Term));
+    assert_eq!(os.take_signal(), None);
+}
+
+#[test]
+fn run_missing_program_is_enoent() {
+    let mut os = SimOs::new();
+    let err = os
+        .run(&["/bin/nosuch".into()], &[], &[])
+        .unwrap_err();
+    assert_eq!(err, OsError::NoEnt("/bin/nosuch".into()));
+}
+
+#[test]
+fn run_non_executable_is_eacces_or_noexec() {
+    let mut os = SimOs::new();
+    os.vfs_mut().put_file("/tmp/data", b"hi").unwrap();
+    assert_eq!(
+        os.run(&["/tmp/data".into()], &[], &[]),
+        Err(OsError::Access("/tmp/data".into()))
+    );
+    os.vfs_mut().set_executable("/tmp/data", true).unwrap();
+    assert_eq!(
+        os.run(&["/tmp/data".into()], &[], &[]),
+        Err(OsError::NoExec("/tmp/data".into())),
+        "executable scripts bounce back to the shell as ENOEXEC"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Coreutils.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn echo_basic_and_n() {
+    let mut os = SimOs::new();
+    assert_eq!(run_prog(&mut os, "echo", &["hi", "there"], "").1, "hi there\n");
+    assert_eq!(run_prog(&mut os, "echo", &["-n", "x"], "").1, "x");
+    assert_eq!(run_prog(&mut os, "echo", &[], "").1, "\n");
+}
+
+#[test]
+fn cat_stdin_and_files() {
+    let mut os = SimOs::new();
+    os.vfs_mut().put_file("/tmp/a", b"A\n").unwrap();
+    os.vfs_mut().put_file("/tmp/b", b"B\n").unwrap();
+    assert_eq!(run_prog(&mut os, "cat", &[], "from stdin").1, "from stdin");
+    assert_eq!(run_prog(&mut os, "cat", &["/tmp/a", "/tmp/b"], "").1, "A\nB\n");
+    let (status, _) = run_prog(&mut os, "cat", &["/tmp/missing"], "");
+    assert_eq!(status, 1);
+}
+
+#[test]
+fn tr_cs_splits_words_like_figure_1() {
+    let mut os = SimOs::new();
+    let (_, out) = run_prog(
+        &mut os,
+        "tr",
+        &["-cs", "a-zA-Z0-9", "\\012"],
+        "the quick, brown fox -- 42 times!\n",
+    );
+    let words: Vec<&str> = out.split('\n').filter(|w| !w.is_empty()).collect();
+    assert_eq!(words, ["the", "quick", "brown", "fox", "42", "times"]);
+}
+
+#[test]
+fn tr_translate_and_delete() {
+    let mut os = SimOs::new();
+    assert_eq!(run_prog(&mut os, "tr", &["a-z", "A-Z"], "abc!").1, "ABC!");
+    assert_eq!(run_prog(&mut os, "tr", &["-d", "0-9"], "a1b2c3").1, "abc");
+}
+
+#[test]
+fn sort_plain_numeric_reverse_unique() {
+    let mut os = SimOs::new();
+    assert_eq!(run_prog(&mut os, "sort", &[], "b\na\nc\n").1, "a\nb\nc\n");
+    assert_eq!(
+        run_prog(&mut os, "sort", &["-n"], "10\n9\n100\n").1,
+        "9\n10\n100\n"
+    );
+    assert_eq!(
+        run_prog(&mut os, "sort", &["-nr"], "  1 b\n 10 a\n  2 c\n").1,
+        " 10 a\n  2 c\n  1 b\n"
+    );
+    assert_eq!(run_prog(&mut os, "sort", &["-u"], "b\na\nb\n").1, "a\nb\n");
+}
+
+#[test]
+fn uniq_counts_adjacent_runs() {
+    let mut os = SimOs::new();
+    assert_eq!(run_prog(&mut os, "uniq", &[], "a\na\nb\na\n").1, "a\nb\na\n");
+    let (_, out) = run_prog(&mut os, "uniq", &["-c"], "x\nx\ny\n");
+    assert_eq!(out, "   2 x\n   1 y\n");
+}
+
+#[test]
+fn wc_counts() {
+    let mut os = SimOs::new();
+    let (_, out) = run_prog(&mut os, "wc", &[], "one two\nthree\n");
+    let nums: Vec<&str> = out.split_whitespace().collect();
+    assert_eq!(nums, ["2", "3", "14"]);
+    let (_, out) = run_prog(&mut os, "wc", &["-l"], "a\nb\n");
+    assert_eq!(out.trim(), "2");
+}
+
+#[test]
+fn head_and_tail() {
+    let mut os = SimOs::new();
+    let input = "1\n2\n3\n4\n5\n";
+    assert_eq!(run_prog(&mut os, "head", &["-2"], input).1, "1\n2\n");
+    assert_eq!(run_prog(&mut os, "head", &["-n", "2"], input).1, "1\n2\n");
+    assert_eq!(run_prog(&mut os, "tail", &["-2"], input).1, "4\n5\n");
+    let eleven = (1..=11).map(|i| format!("{i}\n")).collect::<String>();
+    assert_eq!(
+        run_prog(&mut os, "head", &[], &eleven).1,
+        (1..=10).map(|i| format!("{i}\n")).collect::<String>()
+    );
+}
+
+#[test]
+fn grep_patterns_and_status() {
+    let mut os = SimOs::new();
+    let input = "byron 4523\nroot 1\nbyron 99\n";
+    let (st, out) = run_prog(&mut os, "grep", &["^byron"], input);
+    assert_eq!(st, 0);
+    assert_eq!(out, "byron 4523\nbyron 99\n");
+    let (st, out) = run_prog(&mut os, "grep", &["-v", "^byron"], input);
+    assert_eq!(st, 0);
+    assert_eq!(out, "root 1\n");
+    let (st, out) = run_prog(&mut os, "grep", &["-c", "byron"], input);
+    assert_eq!((st, out.trim()), (0, "2"));
+    let (st, _) = run_prog(&mut os, "grep", &["nomatch"], input);
+    assert_eq!(st, 1);
+    let (st, _) = run_prog(&mut os, "grep", &["(bad"], input);
+    assert_eq!(st, 2);
+}
+
+#[test]
+fn sed_q_s_p_d() {
+    let mut os = SimOs::new();
+    let input = "a\nb\nc\nd\n";
+    assert_eq!(run_prog(&mut os, "sed", &["2q"], input).1, "a\nb\n");
+    assert_eq!(run_prog(&mut os, "sed", &["s/a/X/"], input).1, "X\nb\nc\nd\n");
+    assert_eq!(
+        run_prog(&mut os, "sed", &["s/[ab]/X/"], "aa\nbb\n").1,
+        "Xa\nXb\n"
+    );
+    assert_eq!(
+        run_prog(&mut os, "sed", &["s/[ab]/X/g"], "ab\n").1,
+        "XX\n"
+    );
+    assert_eq!(run_prog(&mut os, "sed", &["/b/d"], input).1, "a\nc\nd\n");
+    assert_eq!(run_prog(&mut os, "sed", &["-n", "/c/p"], input).1, "c\n");
+    assert_eq!(run_prog(&mut os, "sed", &["$d"], input).1, "a\nb\nc\n");
+    assert_eq!(
+        run_prog(&mut os, "sed", &["s/\\(.\\)x/<\\1>/"], "ax\n").1,
+        "ax\n",
+        "BRE-style escaped parens are literal in our ERE engine"
+    );
+    assert_eq!(
+        run_prog(&mut os, "sed", &["s/(.)x/<\\1>/"], "ax\n").1,
+        "<a>\n"
+    );
+}
+
+#[test]
+fn awk_print_fields() {
+    let mut os = SimOs::new();
+    let input = "byron 4523 0.0\nroot 1 0.0\n";
+    assert_eq!(
+        run_prog(&mut os, "awk", &["{print $2}"], input).1,
+        "4523\n1\n"
+    );
+    assert_eq!(
+        run_prog(&mut os, "awk", &["/^byron/ {print $2}"], input).1,
+        "4523\n"
+    );
+    assert_eq!(run_prog(&mut os, "awk", &["{print NF}"], input).1, "3\n3\n");
+}
+
+#[test]
+fn ls_and_file_programs() {
+    let mut os = SimOs::new();
+    os.vfs_mut().put_file("/tmp/z", b"").unwrap();
+    os.vfs_mut().put_file("/tmp/a", b"").unwrap();
+    assert_eq!(run_prog(&mut os, "ls", &["/tmp"], "").1, "a\nz\n");
+    run_prog(&mut os, "rm", &["/tmp/a"], "");
+    assert!(!os.is_file("/tmp/a"));
+    run_prog(&mut os, "touch", &["/tmp/new"], "");
+    assert!(os.is_file("/tmp/new"));
+    run_prog(&mut os, "mkdir", &["/tmp/dir"], "");
+    assert!(os.is_dir("/tmp/dir"));
+    run_prog(&mut os, "cp", &["/tmp/z", "/tmp/dir"], "");
+    assert!(os.is_file("/tmp/dir/z"));
+    run_prog(&mut os, "mv", &["/tmp/z", "/tmp/zz"], "");
+    assert!(os.is_file("/tmp/zz") && !os.is_file("/tmp/z"));
+    run_prog(&mut os, "rm", &["-r", "/tmp/dir"], "");
+    assert!(!os.is_dir("/tmp/dir"));
+}
+
+#[test]
+fn test_program_conditions() {
+    let mut os = SimOs::new();
+    os.vfs_mut().put_file("/tmp/f", b"x").unwrap();
+    assert_eq!(run_prog(&mut os, "test", &["-f", "/tmp/f"], "").0, 0);
+    assert_eq!(run_prog(&mut os, "test", &["-f", "/tmp/g"], "").0, 1);
+    assert_eq!(run_prog(&mut os, "test", &["-d", "/tmp"], "").0, 0);
+    assert_eq!(run_prog(&mut os, "test", &["a", "=", "a"], "").0, 0);
+    assert_eq!(run_prog(&mut os, "test", &["a", "!=", "a"], "").0, 1);
+    assert_eq!(run_prog(&mut os, "test", &["3", "-lt", "5"], "").0, 0);
+    assert_eq!(run_prog(&mut os, "test", &["!", "-f", "/tmp/g"], "").0, 0);
+    assert_eq!(run_prog(&mut os, "[", &["-f", "/tmp/f", "]"], "").0, 0);
+    assert_eq!(run_prog(&mut os, "[", &["-f", "/tmp/f"], "").0, 1, "missing ]");
+}
+
+#[test]
+fn date_formats_virtual_clock() {
+    let mut os = SimOs::new();
+    let (_, out) = run_prog(&mut os, "date", &["+%y-%m-%d"], "");
+    assert_eq!(out.trim(), "93-01-25", "the paper's `fn d` example format");
+    os.advance_ns(86_400 * 1_000_000_000);
+    let (_, out) = run_prog(&mut os, "date", &["+%Y/%m/%d %H:%M"], "");
+    assert!(out.starts_with("1993/01/26"), "clock advanced: {out}");
+}
+
+#[test]
+fn ps_grep_awk_xargs_kill_pipeline_by_hand() {
+    // The paper's intro pipeline, staged manually through pipes:
+    // ps aux | grep '^byron' | awk '{print $2}' | xargs kill -9
+    let mut os = SimOs::new();
+    let (_, ps_out) = run_prog(&mut os, "ps", &["aux"], "");
+    assert!(ps_out.contains("byron"));
+    let (_, grep_out) = run_prog(&mut os, "grep", &["^byron"], &ps_out);
+    let (_, awk_out) = run_prog(&mut os, "awk", &["{print $2}"], &grep_out);
+    let pids: Vec<&str> = awk_out.split_whitespace().collect();
+    assert_eq!(pids, ["4523", "4619"]);
+    let (st, _) = run_prog(&mut os, "xargs", &["kill", "-9"], &awk_out);
+    assert_eq!(st, 0);
+    let (_, ps_after) = run_prog(&mut os, "ps", &["aux"], "");
+    assert!(!ps_after.contains("byron"), "byron's processes are gone");
+}
+
+#[test]
+fn kill_shell_pid_queues_signal() {
+    let mut os = SimOs::new();
+    let pid = os.shell_pid.to_string();
+    let (st, _) = run_prog(&mut os, "kill", &["-2", &pid], "");
+    assert_eq!(st, 0);
+    assert_eq!(os.take_signal(), Some(Signal::Int));
+}
+
+#[test]
+fn figure1_pipeline_shape() {
+    // cat paper | tr -cs a-zA-Z0-9 '\012' | sort | uniq -c | sort -nr | sed 6q
+    let mut os = SimOs::new();
+    let text = "the a the b the a to of is and the a to to a of\n".repeat(20);
+    os.vfs_mut().put_file("/tmp/paper9", text.as_bytes()).unwrap();
+    let (_, s1) = run_prog(&mut os, "cat", &["/tmp/paper9"], "");
+    let (_, s2) = run_prog(&mut os, "tr", &["-cs", "a-zA-Z0-9", "\\012"], &s1);
+    let (_, s3) = run_prog(&mut os, "sort", &[], &s2);
+    let (_, s4) = run_prog(&mut os, "uniq", &["-c"], &s3);
+    let (_, s5) = run_prog(&mut os, "sort", &["-nr"], &s4);
+    let (_, s6) = run_prog(&mut os, "sed", &["6q"], &s5);
+    let lines: Vec<&str> = s6.lines().collect();
+    assert_eq!(lines.len(), 6);
+    // "the" appears 4x20=80 times, the most frequent word.
+    assert!(lines[0].trim().starts_with("80"), "top line: {}", lines[0]);
+    assert!(lines[0].ends_with("the"));
+    // Counts are non-increasing down the list.
+    let counts: Vec<i64> = lines
+        .iter()
+        .map(|l| l.split_whitespace().next().unwrap().parse().unwrap())
+        .collect();
+    assert!(counts.windows(2).all(|w| w[0] >= w[1]));
+}
+
+#[test]
+fn virtual_time_advances_with_work() {
+    let mut os = SimOs::new();
+    let t0 = os.now_ns();
+    let r0 = os.children_rusage();
+    run_prog(&mut os, "echo", &["hi"], "");
+    assert!(os.now_ns() > t0, "real time advanced");
+    let r1 = os.children_rusage();
+    assert!(r1.user_ns > r0.user_ns && r1.sys_ns > r0.sys_ns);
+    // Sort charges more user time than cat for the same bytes.
+    let base = os.children_rusage();
+    let input = "z\ny\nx\nw\nv\nu\n".repeat(200);
+    run_prog(&mut os, "cat", &[], &input);
+    let cat_cost = os.children_rusage() - base;
+    let base = os.children_rusage();
+    run_prog(&mut os, "sort", &[], &input);
+    let sort_cost = os.children_rusage() - base;
+    assert!(
+        sort_cost.user_ns > cat_cost.user_ns,
+        "sort {} !> cat {}",
+        sort_cost.user_ns,
+        cat_cost.user_ns
+    );
+}
+
+#[test]
+fn fork_clone_is_independent() {
+    let mut os = SimOs::new();
+    os.vfs_mut().put_file("/tmp/shared", b"1").unwrap();
+    let mut child = os.clone();
+    child.vfs_mut().put_file("/tmp/childonly", b"2").unwrap();
+    child.chdir("/tmp").unwrap();
+    assert!(!os.is_file("/tmp/childonly"));
+    assert_eq!(os.cwd(), "/home/user");
+    assert_eq!(child.cwd(), "/tmp");
+}
+
+#[test]
+fn basename_dirname_pwd() {
+    let mut os = SimOs::new();
+    assert_eq!(run_prog(&mut os, "basename", &["/a/b/c.txt"], "").1, "c.txt\n");
+    assert_eq!(
+        run_prog(&mut os, "basename", &["/a/b/c.txt", ".txt"], "").1,
+        "c\n"
+    );
+    assert_eq!(run_prog(&mut os, "dirname", &["/a/b/c.txt"], "").1, "/a/b\n");
+    assert_eq!(run_prog(&mut os, "dirname", &["plain"], "").1, ".\n");
+    assert_eq!(run_prog(&mut os, "pwd", &[], "").1, "/home/user\n");
+}
+
+#[test]
+fn seq_and_tee() {
+    let mut os = SimOs::new();
+    assert_eq!(run_prog(&mut os, "seq", &["3"], "").1, "1\n2\n3\n");
+    assert_eq!(run_prog(&mut os, "seq", &["2", "4"], "").1, "2\n3\n4\n");
+    let (_, out) = run_prog(&mut os, "tee", &["/tmp/copy"], "data\n");
+    assert_eq!(out, "data\n");
+    let fd = os.open("/tmp/copy", OpenMode::Read).unwrap();
+    assert_eq!(read_all(&mut os, fd).unwrap(), b"data\n");
+}
+
+#[test]
+fn env_program_reports_environment() {
+    let mut os = SimOs::new();
+    let (_, out) = run_prog(&mut os, "env", &[], "");
+    assert!(out.contains("HOME=/home/user"));
+    assert!(out.contains("PATH=/bin:/usr/bin"));
+}
+
+#[test]
+fn sleep_advances_real_clock_only() {
+    let mut os = SimOs::new();
+    let r0 = os.children_rusage();
+    let t0 = os.now_ns();
+    run_prog(&mut os, "sleep", &["2"], "");
+    assert!(os.now_ns() - t0 >= 2_000_000_000);
+    let cpu = os.children_rusage() - r0;
+    assert!(cpu.total_ns() < 1_000_000_000, "sleep burns no CPU");
+}
+
+proptest! {
+    #[test]
+    fn prop_sort_output_is_sorted_permutation(
+        lines in proptest::collection::vec("[a-z]{0,6}", 0..40)
+    ) {
+        let mut os = SimOs::new();
+        let input: String = lines.iter().map(|l| format!("{l}\n")).collect();
+        let (st, out) = run_prog(&mut os, "sort", &[], &input);
+        prop_assert_eq!(st, 0);
+        let mut got: Vec<&str> = out.lines().collect();
+        let mut want: Vec<&str> = lines.iter().map(String::as_str).collect();
+        prop_assert!(got.windows(2).all(|w| w[0] <= w[1]));
+        got.sort();
+        want.sort();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn prop_wc_l_equals_line_count(lines in proptest::collection::vec("[a-z ]{0,10}", 0..30)) {
+        let mut os = SimOs::new();
+        let input: String = lines.iter().map(|l| format!("{l}\n")).collect();
+        let (_, out) = run_prog(&mut os, "wc", &["-l"], &input);
+        prop_assert_eq!(out.trim().parse::<usize>().unwrap(), lines.len());
+    }
+
+    #[test]
+    fn prop_grep_v_partitions(lines in proptest::collection::vec("[ab]{1,4}", 1..30)) {
+        let mut os = SimOs::new();
+        let input: String = lines.iter().map(|l| format!("{l}\n")).collect();
+        let (_, hits) = run_prog(&mut os, "grep", &["^a"], &input);
+        let (_, misses) = run_prog(&mut os, "grep", &["-v", "^a"], &input);
+        prop_assert_eq!(hits.lines().count() + misses.lines().count(), lines.len());
+        prop_assert!(hits.lines().all(|l| l.starts_with('a')));
+        prop_assert!(misses.lines().all(|l| !l.starts_with('a')));
+    }
+
+    #[test]
+    fn prop_head_tail_cover(n in 1usize..20, k in 0usize..25) {
+        let mut os = SimOs::new();
+        let lines: Vec<String> = (0..n).map(|i| format!("line{i}")).collect();
+        let input: String = lines.iter().map(|l| format!("{l}\n")).collect();
+        let karg = k.to_string();
+        let (_, h) = run_prog(&mut os, "head", &["-n", &karg], &input);
+        let (_, t) = run_prog(&mut os, "tail", &["-n", &karg], &input);
+        prop_assert_eq!(h.lines().count(), k.min(n));
+        prop_assert_eq!(t.lines().count(), k.min(n));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The extra utilities (expr, cut, printf, nl, tac, cmp, which).
+// ---------------------------------------------------------------------------
+
+#[test]
+fn expr_arithmetic_and_comparisons() {
+    let mut os = SimOs::new();
+    assert_eq!(run_prog(&mut os, "expr", &["2", "+", "3"], ""), (0, "5\n".into()));
+    assert_eq!(run_prog(&mut os, "expr", &["10", "-", "4", "*", "2"], "").1, "12\n");
+    assert_eq!(run_prog(&mut os, "expr", &["7", "/", "2"], "").1, "3\n");
+    assert_eq!(run_prog(&mut os, "expr", &["7", "%", "2"], "").1, "1\n");
+    assert_eq!(run_prog(&mut os, "expr", &["3", "<", "5"], ""), (0, "1\n".into()));
+    assert_eq!(run_prog(&mut os, "expr", &["5", "<", "3"], ""), (1, "0\n".into()));
+    assert_eq!(run_prog(&mut os, "expr", &["4", "=", "4"], "").0, 0);
+    let (st, _) = run_prog(&mut os, "expr", &["1", "/", "0"], "");
+    assert_eq!(st, 1);
+    let (st, _) = run_prog(&mut os, "expr", &["x"], "");
+    assert_eq!(st, 1);
+}
+
+#[test]
+fn cut_fields_and_chars() {
+    let mut os = SimOs::new();
+    let input = "a:b:c\nd:e:f\n";
+    assert_eq!(
+        run_prog(&mut os, "cut", &["-d", ":", "-f", "2"], input).1,
+        "b\ne\n"
+    );
+    assert_eq!(
+        run_prog(&mut os, "cut", &["-d", ":", "-f", "1,3"], input).1,
+        "a:c\nd:f\n"
+    );
+    assert_eq!(run_prog(&mut os, "cut", &["-c", "2-3"], "abcdef\n").1, "bc\n");
+    assert_eq!(run_prog(&mut os, "cut", &["-c", "2"], "abc\n").1, "b\n");
+    let (st, _) = run_prog(&mut os, "cut", &[], "x\n");
+    assert_eq!(st, 1);
+}
+
+#[test]
+fn printf_formats() {
+    let mut os = SimOs::new();
+    assert_eq!(
+        run_prog(&mut os, "printf", &["%s=%d\\n", "a", "1", "b", "2"], "").1,
+        "a=1\nb=2\n"
+    );
+    assert_eq!(run_prog(&mut os, "printf", &["100%%\\n"], "").1, "100%\n");
+    assert_eq!(run_prog(&mut os, "printf", &["x\\ty\\n"], "").1, "x\ty\n");
+}
+
+#[test]
+fn nl_tac_cmp_which() {
+    let mut os = SimOs::new();
+    assert_eq!(
+        run_prog(&mut os, "nl", &[], "a\nb\n").1,
+        format!("{:6}\ta\n{:6}\tb\n", 1, 2)
+    );
+    assert_eq!(run_prog(&mut os, "tac", &[], "1\n2\n3\n").1, "3\n2\n1\n");
+    os.vfs_mut().put_file("/tmp/x", b"same").unwrap();
+    os.vfs_mut().put_file("/tmp/y", b"same").unwrap();
+    os.vfs_mut().put_file("/tmp/z", b"diff").unwrap();
+    assert_eq!(run_prog(&mut os, "cmp", &["/tmp/x", "/tmp/y"], "").0, 0);
+    assert_eq!(run_prog(&mut os, "cmp", &["/tmp/x", "/tmp/z"], "").0, 1);
+    assert_eq!(run_prog(&mut os, "which", &["ls"], "").1, "/bin/ls\n");
+    assert_eq!(run_prog(&mut os, "which", &["nosuch"], "").0, 1);
+}

@@ -1,0 +1,209 @@
+//! A small regular-expression engine for the coreutils substrate.
+//!
+//! The es paper's examples run pipelines through `grep` and `sed`
+//! (e.g. `ps aux | grep '^byron'` and the Figure 1 word-frequency
+//! pipeline ending in `sed 6q`). The simulated coreutils in `es-os`
+//! need a regex engine for those programs, and the reproduction builds
+//! everything from scratch, so here is one.
+//!
+//! The supported language is a practical ERE subset:
+//!
+//! * literals, `.`, `[...]` / `[^...]` classes with ranges
+//! * `*`, `+`, `?` greedy repetition
+//! * alternation `|`, capturing groups `(...)`
+//! * anchors `^` and `$`
+//! * escapes `\.` `\\` `\*` ... plus `\d` `\w` `\s` and `\n` `\t`
+//!
+//! Patterns compile to a small instruction program executed by a
+//! backtracking VM with an explicit stack (no recursion, no stack
+//! overflow on long inputs). Captures are recorded via `Save` slots,
+//! so `sed`'s `s/../../` replacements can use `&` and `\1`..`\9`.
+//!
+//! # Examples
+//!
+//! ```
+//! use es_regex::Regex;
+//!
+//! let re = Regex::new("^[a-z]+ ([0-9]+)$").unwrap();
+//! let m = re.find("byron 4523").unwrap();
+//! assert_eq!(m.group_str(1), Some("4523"));
+//! assert!(!re.is_match("Byron 4523"));
+//! ```
+
+mod compile;
+mod parse;
+mod vm;
+
+#[cfg(test)]
+mod tests;
+
+pub use compile::Inst;
+pub use parse::RegexError;
+
+/// A compiled regular expression.
+#[derive(Debug, Clone)]
+pub struct Regex {
+    prog: Vec<Inst>,
+    ngroups: usize,
+    pattern: String,
+}
+
+/// A successful match: overall extent plus capture groups, all as
+/// **byte** offsets into the subject (suitable for slicing).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MatchResult<'t> {
+    text: &'t str,
+    /// Slot `0` is the whole match; slot `g` is capture group `g`.
+    groups: Vec<Option<(usize, usize)>>,
+}
+
+impl<'t> MatchResult<'t> {
+    /// Byte range of the whole match.
+    pub fn range(&self) -> (usize, usize) {
+        self.groups[0].expect("group 0 always present in a match")
+    }
+
+    /// Text of the whole match.
+    pub fn as_str(&self) -> &'t str {
+        let (s, e) = self.range();
+        &self.text[s..e]
+    }
+
+    /// Byte range of capture group `g`, if it participated.
+    pub fn group(&self, g: usize) -> Option<(usize, usize)> {
+        self.groups.get(g).copied().flatten()
+    }
+
+    /// Text of capture group `g`, if it participated.
+    pub fn group_str(&self, g: usize) -> Option<&'t str> {
+        self.group(g).map(|(s, e)| &self.text[s..e])
+    }
+
+    /// Number of capture slots (including the implicit group 0).
+    pub fn len(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Always false: a match has at least group 0.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+impl Regex {
+    /// Compiles `pattern`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// assert!(es_regex::Regex::new("a(b").is_err());
+    /// assert!(es_regex::Regex::new("a(b)").is_ok());
+    /// ```
+    pub fn new(pattern: &str) -> Result<Regex, RegexError> {
+        let (ast, ngroups) = parse::parse(pattern)?;
+        let prog = compile::compile(&ast);
+        Ok(Regex {
+            prog,
+            ngroups,
+            pattern: pattern.to_string(),
+        })
+    }
+
+    /// The source pattern this regex was compiled from.
+    pub fn pattern(&self) -> &str {
+        &self.pattern
+    }
+
+    /// Returns true if the pattern matches anywhere in `text`.
+    pub fn is_match(&self, text: &str) -> bool {
+        self.find(text).is_some()
+    }
+
+    /// Finds the leftmost match in `text`.
+    pub fn find<'t>(&self, text: &'t str) -> Option<MatchResult<'t>> {
+        self.find_at(text, 0)
+    }
+
+    /// Finds the leftmost match starting at or after byte offset `start`
+    /// (which must lie on a char boundary).
+    pub fn find_at<'t>(&self, text: &'t str, start: usize) -> Option<MatchResult<'t>> {
+        let chars: Vec<(usize, char)> = text.char_indices().collect();
+        let start_ci = chars
+            .iter()
+            .position(|&(b, _)| b >= start)
+            .unwrap_or(chars.len());
+        for at in start_ci..=chars.len() {
+            if let Some(groups) = vm::run(&self.prog, &chars, text.len(), at, self.ngroups) {
+                return Some(MatchResult { text, groups });
+            }
+        }
+        None
+    }
+
+    /// Replaces the first (or every, if `global`) match with `rep`.
+    ///
+    /// In the replacement, `&` inserts the whole match, `\1`..`\9`
+    /// insert capture groups, and `\&` / `\\` escape. This is the
+    /// semantics `sed`'s `s///` command needs.
+    ///
+    /// Returns the rewritten string and the number of replacements.
+    pub fn replace(&self, text: &str, rep: &str, global: bool) -> (String, usize) {
+        let mut out = String::new();
+        let mut pos = 0usize;
+        let mut count = 0usize;
+        while pos <= text.len() {
+            let m = match self.find_at(text, pos) {
+                Some(m) => m,
+                None => break,
+            };
+            let (ms, me) = m.range();
+            out.push_str(&text[pos..ms]);
+            expand_replacement(&mut out, rep, &m);
+            count += 1;
+            if me == ms {
+                // Empty match: emit one char and continue, to guarantee progress.
+                match text[me..].chars().next() {
+                    Some(c) => {
+                        out.push(c);
+                        pos = me + c.len_utf8();
+                    }
+                    None => {
+                        pos = me + 1;
+                    }
+                }
+            } else {
+                pos = me;
+            }
+            if !global {
+                break;
+            }
+        }
+        if pos <= text.len() {
+            out.push_str(&text[pos.min(text.len())..]);
+        }
+        (out, count)
+    }
+}
+
+/// Expands `&`, `\1`..`\9`, `\&`, `\\` in a sed-style replacement.
+fn expand_replacement(out: &mut String, rep: &str, m: &MatchResult<'_>) {
+    let mut it = rep.chars();
+    while let Some(c) = it.next() {
+        match c {
+            '&' => out.push_str(m.as_str()),
+            '\\' => match it.next() {
+                Some(d @ '1'..='9') => {
+                    let g = d as usize - '0' as usize;
+                    if let Some(s) = m.group_str(g) {
+                        out.push_str(s);
+                    }
+                }
+                Some('n') => out.push('\n'),
+                Some('t') => out.push('\t'),
+                Some(other) => out.push(other),
+                None => out.push('\\'),
+            },
+            other => out.push(other),
+        }
+    }
+}

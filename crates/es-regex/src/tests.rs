@@ -1,0 +1,251 @@
+//! Unit and property tests for the regex engine.
+
+use crate::Regex;
+use proptest::prelude::*;
+
+fn re(p: &str) -> Regex {
+    Regex::new(p).expect("pattern compiles")
+}
+
+#[test]
+fn literal() {
+    assert!(re("abc").is_match("xxabcxx"));
+    assert!(!re("abc").is_match("ab"));
+    assert!(re("").is_match("anything"));
+}
+
+#[test]
+fn anchors() {
+    assert!(re("^byron").is_match("byron   4523"));
+    assert!(!re("^byron").is_match("  byron"));
+    assert!(re("end$").is_match("the end"));
+    assert!(!re("end$").is_match("end."));
+    assert!(re("^exact$").is_match("exact"));
+    assert!(!re("^exact$").is_match("exactly"));
+    assert!(re("^$").is_match(""));
+    assert!(!re("^$").is_match("x"));
+}
+
+#[test]
+fn dot_and_classes() {
+    assert!(re("a.c").is_match("abc"));
+    assert!(re("a.c").is_match("a-c"));
+    assert!(!re("a.c").is_match("ac"));
+    assert!(re("[0-9]+").is_match("pid 4523"));
+    assert!(!re("[0-9]+").is_match("no digits"));
+    assert!(re("[^0-9]").is_match("a"));
+    assert!(!re("^[^0-9]+$").is_match("ab3cd"));
+    assert!(re("[a-zA-Z0-9]").is_match("Q"));
+    assert!(re("[]]").is_match("]"));
+    assert!(re("[a-]").is_match("-"));
+}
+
+#[test]
+fn repetition() {
+    assert!(re("ab*c").is_match("ac"));
+    assert!(re("ab*c").is_match("abbbc"));
+    assert!(re("ab+c").is_match("abc"));
+    assert!(!re("ab+c").is_match("ac"));
+    assert!(re("ab?c").is_match("ac"));
+    assert!(re("ab?c").is_match("abc"));
+    assert!(!re("ab?c").is_match("abbc"));
+}
+
+#[test]
+fn alternation() {
+    let r = re("cat|dog|bird");
+    assert!(r.is_match("hotdog"));
+    assert!(r.is_match("a bird"));
+    assert!(!r.is_match("fish"));
+    assert!(re("^(a|bc)+$").is_match("abcbca"));
+}
+
+#[test]
+fn groups_and_captures() {
+    let r = re("(\\w+)@(\\w+)");
+    let m = r.find("mail haahr@adobe now").unwrap();
+    assert_eq!(m.as_str(), "haahr@adobe");
+    assert_eq!(m.group_str(1), Some("haahr"));
+    assert_eq!(m.group_str(2), Some("adobe"));
+    assert_eq!(m.group(3), None);
+}
+
+#[test]
+fn leftmost_greedy() {
+    let m = re("a+").find("baaad").unwrap();
+    assert_eq!(m.range(), (1, 4), "leftmost then greedy");
+    let m = re("<.*>").find("<a><b>").unwrap();
+    assert_eq!(m.as_str(), "<a><b>", "star is greedy");
+}
+
+#[test]
+fn escapes() {
+    assert!(re("\\.").is_match("a.b"));
+    assert!(!re("\\.").is_match("ab"));
+    assert!(re("a\\*b").is_match("a*b"));
+    assert!(re("\\d+").is_match("x42"));
+    assert!(re("\\s").is_match("a b"));
+    assert!(re("\\w+").is_match("_id9"));
+    assert!(re("a\\nb").is_match("a\nb"));
+}
+
+#[test]
+fn parse_errors() {
+    assert!(Regex::new("(ab").is_err());
+    assert!(Regex::new("ab)").is_err());
+    assert!(Regex::new("[ab").is_err());
+    assert!(Regex::new("*a").is_err());
+    assert!(Regex::new("a**").is_err());
+    assert!(Regex::new("a\\").is_err());
+    let err = Regex::new("(x").unwrap_err();
+    assert!(err.to_string().contains("regex error"));
+}
+
+#[test]
+fn empty_loop_terminates() {
+    // `(a?)*` can iterate without consuming; the visited set must stop it.
+    assert!(re("(a?)*").is_match(""));
+    assert!(re("(a?)*b").is_match("aab"));
+    assert!(!re("^(a?)*b$").is_match("aac"));
+    assert!(re("(a*)*").is_match("aaa"));
+}
+
+#[test]
+fn pathological_is_fast() {
+    // Classic exponential blowup case for naive backtrackers.
+    let pat = format!("^{}$", "a?".repeat(20) + &"a".repeat(20));
+    let subj = "a".repeat(20);
+    assert!(re(&pat).is_match(&subj));
+    let subj_short = "a".repeat(19);
+    assert!(!re(&pat).is_match(&subj_short));
+}
+
+#[test]
+fn replace_first_and_global() {
+    let r = re("o");
+    assert_eq!(r.replace("foo bob", "0", false), ("f0o bob".into(), 1));
+    assert_eq!(r.replace("foo bob", "0", true), ("f00 b0b".into(), 3));
+}
+
+#[test]
+fn replace_with_ampersand_and_groups() {
+    let r = re("([a-z]+)=([0-9]+)");
+    let (out, n) = r.replace("x=1, y=22", "\\2:=\\1 (&)", true);
+    assert_eq!(out, "1:=x (x=1), 22:=y (y=22)");
+    assert_eq!(n, 2);
+    // Escaped ampersand and backslash.
+    let (out, _) = re("b").replace("abc", "\\&", false);
+    assert_eq!(out, "a&c");
+}
+
+#[test]
+fn replace_empty_match_progresses() {
+    let (out, n) = re("x*").replace("ab", "-", true);
+    // Matches empty at 0, 1, 2 (and never loops forever).
+    assert_eq!(out, "-a-b-");
+    assert_eq!(n, 3);
+}
+
+#[test]
+fn find_at_offsets() {
+    let r = re("a");
+    let text = "xaxa";
+    let m1 = r.find(text).unwrap();
+    assert_eq!(m1.range(), (1, 2));
+    let m2 = r.find_at(text, 2).unwrap();
+    assert_eq!(m2.range(), (3, 4));
+    assert!(r.find_at(text, 4).is_none());
+}
+
+#[test]
+fn unicode() {
+    assert!(re("é+").is_match("café"));
+    let m = re("[α-ω]+").find("x λογος y").unwrap();
+    assert_eq!(m.as_str(), "λογος");
+    let (out, _) = re("λ").replace("aλb", "<&>", false);
+    assert_eq!(out, "a<λ>b");
+}
+
+#[test]
+fn ps_grep_kill_pipeline_pattern() {
+    // The paper's intro example: ps aux | grep '^byron'.
+    let r = re("^byron");
+    assert!(r.is_match("byron    4523  0.0 es"));
+    assert!(!r.is_match("root     1     0.0 init"));
+}
+
+// ---------------------------------------------------------------------------
+// Property tests against a reference matcher for a restricted language.
+// ---------------------------------------------------------------------------
+
+/// Reference: match `pat` (literals, `.`, `*` postfix) against whole text.
+fn ref_match(pat: &[char], text: &[char]) -> bool {
+    if pat.is_empty() {
+        return text.is_empty();
+    }
+    if pat.len() >= 2 && pat[1] == '*' {
+        // zero or more of pat[0]
+        if ref_match(&pat[2..], text) {
+            return true;
+        }
+        let mut i = 0;
+        while i < text.len() && (pat[0] == '.' || text[i] == pat[0]) {
+            i += 1;
+            if ref_match(&pat[2..], &text[i..]) {
+                return true;
+            }
+        }
+        false
+    } else {
+        !text.is_empty() && (pat[0] == '.' || text[0] == pat[0]) && ref_match(&pat[1..], &text[1..])
+    }
+}
+
+/// Keeps only patterns the reference understands: no leading `*`, no `**`.
+fn valid_simple_pattern(p: &str) -> bool {
+    let cs: Vec<char> = p.chars().collect();
+    for (i, c) in cs.iter().enumerate() {
+        if *c == '*' && (i == 0 || cs[i - 1] == '*') {
+            return false;
+        }
+    }
+    true
+}
+
+proptest! {
+    #[test]
+    fn prop_agrees_with_reference(
+        pat in "[ab.*]{0,8}".prop_filter("simple", |p| valid_simple_pattern(p)),
+        text in "[ab]{0,10}",
+    ) {
+        let anchored = format!("^({pat})$");
+        let got = Regex::new(&anchored).unwrap().is_match(&text);
+        let p: Vec<char> = pat.chars().collect();
+        let t: Vec<char> = text.chars().collect();
+        prop_assert_eq!(got, ref_match(&p, &t), "pattern={} text={}", pat, text);
+    }
+
+    #[test]
+    fn prop_literal_finds_itself(s in "[a-z]{1,12}", pre in "[0-9]{0,5}", post in "[0-9]{0,5}") {
+        let text = format!("{pre}{s}{post}");
+        let m = re(&s).find(&text).expect("must match");
+        prop_assert_eq!(m.as_str(), s.as_str());
+        prop_assert_eq!(m.range().0, pre.len());
+    }
+
+    #[test]
+    fn prop_replace_global_removes_all(s in "[a-c]{0,20}") {
+        let (out, _) = re("a").replace(&s, "", true);
+        prop_assert!(!out.contains('a'));
+        let kept: String = s.chars().filter(|&c| c != 'a').collect();
+        prop_assert_eq!(out, kept);
+    }
+
+    #[test]
+    fn prop_never_panics(pat in "[a-c().*+?\\[\\]|^$\\\\]{0,12}", text in "[a-c]{0,12}") {
+        if let Ok(r) = Regex::new(&pat) {
+            let _ = r.is_match(&text);
+            let _ = r.replace(&text, "x", true);
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! The backtracking VM.
+
+use crate::compile::Inst;
+
+/// One pending alternative: program counter, char index, and the saves
+/// vector as it was when the alternative was created.
+struct Thread {
+    pc: usize,
+    ci: usize,
+    saves: Vec<Option<usize>>,
+}
+
+/// Runs `prog` against the subject starting at char index `start`.
+///
+/// `chars` is the subject's `char_indices`; `text_len` the subject's
+/// byte length. Returns capture slots as byte ranges on success.
+///
+/// The VM is a depth-first backtracker with an explicit stack, with one
+/// refinement: a `(pc, ci)` visited set. Depth-first order preserves
+/// greedy/leftmost semantics (the first accepting path wins), while the
+/// visited set both bounds the running time polynomially and kills the
+/// infinite empty-iteration loops that patterns like `(a?)*` would
+/// otherwise produce.
+pub(crate) fn run(
+    prog: &[Inst],
+    chars: &[(usize, char)],
+    text_len: usize,
+    start: usize,
+    ngroups: usize,
+) -> Option<Vec<Option<(usize, usize)>>> {
+    let nslots = 2 * ngroups;
+    let width = chars.len() + 1;
+    let mut visited = vec![false; prog.len() * width];
+    let mut stack = vec![Thread {
+        pc: 0,
+        ci: start,
+        saves: vec![None; nslots],
+    }];
+
+    while let Some(mut th) = stack.pop() {
+        loop {
+            let key = th.pc * width + th.ci;
+            if visited[key] {
+                break;
+            }
+            visited[key] = true;
+            match &prog[th.pc] {
+                Inst::Match => {
+                    return Some(finish(&th.saves, ngroups));
+                }
+                Inst::Char(c) => {
+                    if th.ci < chars.len() && chars[th.ci].1 == *c {
+                        th.pc += 1;
+                        th.ci += 1;
+                    } else {
+                        break;
+                    }
+                }
+                Inst::Any => {
+                    if th.ci < chars.len() {
+                        th.pc += 1;
+                        th.ci += 1;
+                    } else {
+                        break;
+                    }
+                }
+                Inst::Class { negated, ranges } => {
+                    if th.ci < chars.len() {
+                        let c = chars[th.ci].1;
+                        let hit = ranges.iter().any(|&(lo, hi)| lo <= c && c <= hi);
+                        if hit != *negated {
+                            th.pc += 1;
+                            th.ci += 1;
+                            continue;
+                        }
+                    }
+                    break;
+                }
+                Inst::Jmp(t) => {
+                    // A jump does not consume input; clear the visited
+                    // mark we just set for the jump instruction itself
+                    // is fine — the target gets its own mark.
+                    th.pc = *t;
+                }
+                Inst::Split(a, b) => {
+                    stack.push(Thread {
+                        pc: *b,
+                        ci: th.ci,
+                        saves: th.saves.clone(),
+                    });
+                    th.pc = *a;
+                }
+                Inst::Save(n) => {
+                    th.saves[*n] = Some(byte_at(chars, text_len, th.ci));
+                    th.pc += 1;
+                }
+                Inst::Bol => {
+                    if th.ci == 0 {
+                        th.pc += 1;
+                    } else {
+                        break;
+                    }
+                }
+                Inst::Eol => {
+                    if th.ci == chars.len() {
+                        th.pc += 1;
+                    } else {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    None
+}
+
+fn byte_at(chars: &[(usize, char)], text_len: usize, ci: usize) -> usize {
+    if ci < chars.len() {
+        chars[ci].0
+    } else {
+        text_len
+    }
+}
+
+fn finish(saves: &[Option<usize>], ngroups: usize) -> Vec<Option<(usize, usize)>> {
+    (0..ngroups)
+        .map(|g| match (saves[2 * g], saves[2 * g + 1]) {
+            (Some(s), Some(e)) if s <= e => Some((s, e)),
+            _ => None,
+        })
+        .collect()
+}

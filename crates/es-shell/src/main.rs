@@ -1,0 +1,155 @@
+//! The `es` binary: an interactive shell / script runner on either
+//! kernel backend.
+//!
+//! ```text
+//! es [options] [script [args...]]
+//!
+//!   -c CMD            run CMD and exit
+//!   --real            run on the real OS (std::fs / std::process)
+//!   --sim             run on the simulated kernel (default)
+//!   --naive-calls     disable proper tail calls (1993 behaviour)
+//!   --stress-gc       collect on every allocation (debug mode)
+//!   --dump-env        print the encoded environment and exit
+//! ```
+//!
+//! With no script and no `-c`, starts the interactive loop — which is
+//! `%interactive-loop` from Figure 3 of the paper, written in es and
+//! replaceable from the command line.
+
+use es_core::{Machine, Options};
+use es_os::{Os, RealOs, SimOs};
+use std::process::ExitCode;
+
+struct Args {
+    command: Option<String>,
+    script: Option<String>,
+    script_args: Vec<String>,
+    real: bool,
+    naive_calls: bool,
+    stress_gc: bool,
+    dump_env: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut out = Args {
+        command: None,
+        script: None,
+        script_args: Vec::new(),
+        real: false,
+        naive_calls: false,
+        stress_gc: false,
+        dump_env: false,
+    };
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "-c" => {
+                out.command = Some(argv.next().ok_or("-c needs an argument")?);
+            }
+            "--real" => out.real = true,
+            "--sim" => out.real = false,
+            "--naive-calls" => out.naive_calls = true,
+            "--stress-gc" => out.stress_gc = true,
+            "--dump-env" => out.dump_env = true,
+            "-h" | "--help" => {
+                println!(
+                    "usage: es [-c CMD] [--real|--sim] [--naive-calls] [--stress-gc] [script [args...]]"
+                );
+                std::process::exit(0);
+            }
+            other if out.script.is_none() => out.script = Some(other.to_string()),
+            other => out.script_args.push(other.to_string()),
+        }
+    }
+    Ok(out)
+}
+
+fn run_shell<O: Os + Clone>(os: O, args: Args) -> i32 {
+    let opts = Options {
+        tail_calls: !args.naive_calls,
+        ..Options::default()
+    };
+    let mut m = match Machine::with_options(os, opts) {
+        Ok(m) => m,
+        Err(_) => {
+            eprintln!("es: failed to boot (initial.es)");
+            return 125;
+        }
+    };
+    m.heap.set_stress(args.stress_gc);
+    if args.dump_env {
+        for (k, v) in es_core_env(&m) {
+            println!("{k}={v}");
+        }
+        return 0;
+    }
+    if let Some(cmd) = &args.command {
+        return match m.run(cmd) {
+            Ok(_) => 0,
+            Err(msg) => {
+                eprintln!("es: {msg}");
+                1
+            }
+        };
+    }
+    if let Some(script) = &args.script {
+        let quoted_args: Vec<String> = args
+            .script_args
+            .iter()
+            .map(|a| es_syntax::print::quote(a))
+            .collect();
+        let cmd = format!(". {} {}", script, quoted_args.join(" "));
+        return match m.run(&cmd) {
+            Ok(_) => 0,
+            Err(msg) => {
+                eprintln!("es: {msg}");
+                1
+            }
+        };
+    }
+    m.repl()
+}
+
+/// Re-export of the environment builder for `--dump-env` (the crate
+/// keeps it internal; the binary reaches it through a tiny shim).
+fn es_core_env<O: Os + Clone>(m: &Machine<O>) -> Vec<(String, String)> {
+    m.export_environment()
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("es: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    // The evaluator can nest deeply (especially with --naive-calls);
+    // run on a thread with a generous stack, like the original's
+    // reliance on a large C stack.
+    let child = std::thread::Builder::new()
+        .name("es-shell".into())
+        .stack_size(256 << 20)
+        .spawn(move || {
+            if args.real {
+                let status = run_shell(RealOs::new(), args);
+                status
+            } else {
+                let mut os = SimOs::new();
+                os.set_interactive(true);
+                // Seed the simulated kernel with the real environment
+                // so PATH-ish state imports sensibly.
+                os.set_initial_env(
+                    [
+                        ("HOME".to_string(), "/home/user".to_string()),
+                        ("PATH".to_string(), "/bin:/usr/bin".to_string()),
+                    ]
+                    .to_vec(),
+                );
+                run_shell(os, args)
+            }
+        })
+        .expect("spawn shell thread");
+    let status = child.join().unwrap_or(126);
+    ExitCode::from(status.clamp(0, 255) as u8)
+}

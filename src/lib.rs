@@ -1,0 +1,7 @@
+//! Umbrella crate for the es-shell reproduction: re-exports all workspace crates.
+pub use es_core as core;
+pub use es_gc as gc;
+pub use es_match as glob;
+pub use es_os as os;
+pub use es_regex as regex;
+pub use es_syntax as syntax;
