@@ -1,0 +1,30 @@
+# Convenience targets for the es reproduction. `just` is not installed
+# in the build image, so plain make it is.
+
+.PHONY: all build test soak lint bench clean
+
+all: build test
+
+build:
+	cargo build --release
+
+# Tier-1 verification (see ROADMAP.md).
+test:
+	cargo build --release && cargo test -q
+
+# E10 — fault-injection soak: 256 seeded fault plans against a scripted
+# session, asserting no panics, no descriptor leaks, and byte-identical
+# replay per seed; then the zero-fault overhead bench.
+soak:
+	cargo test -p es-core -q soak_fault_plans -- --nocapture
+	cargo bench -p es-bench --bench e10_fault_overhead
+
+# The whole workspace must be clippy-clean.
+lint:
+	cargo clippy --workspace --all-targets -- -D warnings
+
+bench:
+	cargo bench -p es-bench
+
+clean:
+	cargo clean

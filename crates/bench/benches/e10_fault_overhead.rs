@@ -1,0 +1,38 @@
+//! E10 — fault-injection soak: zero-fault overhead.
+//!
+//! The fault layer's hot-path cost when armed but quiet must be
+//! negligible (<5%): every hooked syscall pays one `Option` check plus
+//! a table lookup, and nothing else. This bench runs the Figure 1
+//! pipeline with (a) no plan armed and (b) a zero-rate plan armed, so
+//! the two medians are directly comparable. The soak itself — 256
+//! seeded plans, leak/replay assertions — lives in
+//! `es-core::tests_prop::soak_fault_plans_no_panic_no_leak_deterministic_replay`
+//! (see `make soak`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use es_bench::{machine_with_paper, run, FIG1_PIPELINE};
+use es_os::FaultPlan;
+
+fn bench_zero_fault_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e10_fault_overhead");
+    group.sample_size(20);
+    for &words in &[200usize, 1000] {
+        group.bench_with_input(BenchmarkId::new("no-plan", words), &words, |b, &words| {
+            let mut m = machine_with_paper(words);
+            b.iter(|| run(&mut m, FIG1_PIPELINE));
+        });
+        group.bench_with_input(
+            BenchmarkId::new("zero-rate-plan", words),
+            &words,
+            |b, &words| {
+                let mut m = machine_with_paper(words);
+                m.os_mut().set_fault_plan(Some(FaultPlan::new(0)));
+                b.iter(|| run(&mut m, FIG1_PIPELINE));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_zero_fault_overhead);
+criterion_main!(benches);

@@ -48,7 +48,7 @@ pub fn synth_document(words: usize) -> String {
     for i in 0..words {
         n = n.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
         let pick = (n >> 33) as usize;
-        if pick % 5 != 0 {
+        if !pick.is_multiple_of(5) {
             out.push_str(common[pick % common.len()]);
         } else {
             out.push_str(rare[(pick / 7) % rare.len()]);

@@ -137,8 +137,7 @@ pub fn eval_node<O: Os + Clone>(
                     let value = match value::list_nth(&m.heap, m.heap.root(*slot), i) {
                         Some(term) => {
                             let t = m.heap.push_root(term);
-                            let cell = m.heap.alloc_pair(m.heap.root(t), Ref::NIL);
-                            cell
+                            m.heap.alloc_pair(m.heap.root(t), Ref::NIL)
                         }
                         None => Ref::NIL,
                     };
@@ -864,7 +863,9 @@ pub fn run_external<O: Os + Clone>(
     argv.extend(m.strings_at(args));
     let envs = crate::env::build_environment(m);
     let fds = m.fd_layout();
-    match m.os_mut().run(&argv, &envs, &fds) {
+    // Bounded EINTR retry: the fault layer injects interrupts before
+    // the child runs, so re-issuing the whole exec is safe.
+    match es_os::retry_intr(|| m.os_mut().run(&argv, &envs, &fds)) {
         Ok(status) => {
             let v = value::status_value(&mut m.heap, status);
             Ok(Flow::Val(v))

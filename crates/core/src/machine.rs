@@ -5,7 +5,7 @@ use crate::eval;
 use crate::exception::{EsError, EsResult};
 use crate::value::{self, Term};
 use es_gc::{PermSlot, Ref, RootSlot};
-use es_os::{Desc, Os, OsResult};
+use es_os::{Desc, Os};
 use es_syntax::ast::Lambda;
 use es_syntax::{lower, parse_program};
 use std::collections::BTreeMap;
@@ -379,12 +379,50 @@ impl<O: Os + Clone> Machine<O> {
         self.fds.iter().map(|(k, v)| (*k, *v)).collect()
     }
 
-    /// Writes bytes to shell fd `fd`.
-    pub fn write_fd(&mut self, fd: u32, data: &[u8]) -> OsResult<()> {
+    /// Writes all of `data` to shell fd `fd`, looping on partial
+    /// writes and retrying interrupted ones (bounded). On failure the
+    /// error reports how many bytes made it out first.
+    pub fn write_fd(&mut self, fd: u32, data: &[u8]) -> Result<usize, es_os::WriteError> {
         match self.fd(fd) {
-            Some(d) => es_os::write_all(&mut self.os, d, data),
-            None => Err(es_os::OsError::BadF),
+            Some(d) => es_os::write_fully(&mut self.os, d, data),
+            None => Err(es_os::WriteError {
+                written: 0,
+                cause: es_os::OsError::BadF,
+            }),
         }
+    }
+
+    /// Closes a kernel descriptor, retrying interrupted closes so an
+    /// injected `EINTR` cannot leak the slot. Other errors (already
+    /// closed, bad descriptor) are ignored — on cleanup paths there is
+    /// nothing further to do with them.
+    pub fn close_desc(&mut self, d: Desc) {
+        let _ = es_os::retry_intr(|| self.os.close(d));
+    }
+
+    /// Runs `body` with shell fd `fd` pointing at `d`, then — on every
+    /// exit path, value or exception — closes `d` and restores the
+    /// previous table entry. This is the scope guard all redirection
+    /// primitives hang off: exception safety here is what makes
+    /// `catch` and redirections compose.
+    pub fn with_fd<R>(
+        &mut self,
+        fd: u32,
+        d: Desc,
+        body: impl FnOnce(&mut Self) -> R,
+    ) -> R {
+        let saved = self.set_fd(fd, d);
+        let result = body(self);
+        self.close_desc(d);
+        match saved {
+            Some(old) => {
+                self.set_fd(fd, old);
+            }
+            None => {
+                self.remove_fd(fd);
+            }
+        }
+        result
     }
 
     // ----- input sources -------------------------------------------------------------
@@ -402,28 +440,24 @@ impl<O: Os + Clone> Machine<O> {
     /// Reads one line (without the newline) from the current input
     /// source; `None` at end of input (→ the `eof` exception).
     pub fn read_line(&mut self) -> Option<String> {
-        let console = match self.inputs.last_mut()? {
-            Input::Text { src, pos } => {
-                if *pos >= src.len() {
-                    return None;
-                }
-                let rest = &src[*pos..];
-                return Some(match rest.find('\n') {
-                    Some(i) => {
-                        let line = rest[..i].to_string();
-                        *pos += i + 1;
-                        line
-                    }
-                    None => {
-                        let line = rest.to_string();
-                        *pos = src.len();
-                        line
-                    }
-                });
+        if let Input::Text { src, pos } = self.inputs.last_mut()? {
+            if *pos >= src.len() {
+                return None;
             }
-            Input::Console { .. } => (),
-        };
-        let () = console;
+            let rest = &src[*pos..];
+            return Some(match rest.find('\n') {
+                Some(i) => {
+                    let line = rest[..i].to_string();
+                    *pos += i + 1;
+                    line
+                }
+                None => {
+                    let line = rest.to_string();
+                    *pos = src.len();
+                    line
+                }
+            });
+        }
         loop {
             // Serve a buffered line if we have one.
             if let Some(Input::Console { pending }) = self.inputs.last_mut() {
@@ -435,7 +469,9 @@ impl<O: Os + Clone> Machine<O> {
             }
             let desc = self.fds.get(&0).copied()?;
             let mut buf = [0u8; 1024];
-            match self.os.read(desc, &mut buf) {
+            // Bounded EINTR retry: an interrupted console read must
+            // not end the REPL. Any other error reads as EOF.
+            match es_os::retry_intr(|| self.os.read(desc, &mut buf)) {
                 Ok(0) | Err(_) => {
                     // EOF: flush any unterminated final line.
                     if let Some(Input::Console { pending }) = self.inputs.last_mut() {

@@ -23,17 +23,27 @@ fn fd_arg<O: Os + Clone>(m: &mut Machine<O>, args: RootSlot, i: usize) -> EsResu
     }
 }
 
-/// Restores a saved fd-table entry, closing the temporary descriptor.
-fn restore_fd<O: Os + Clone>(m: &mut Machine<O>, fd: u32, saved: Option<Desc>, temp: Desc) {
-    let _ = m.os_mut().close(temp);
-    match saved {
-        Some(old) => {
-            m.set_fd(fd, old);
-        }
-        None => {
-            m.remove_fd(fd);
-        }
-    }
+/// Runs the thunk at argument `idx` with shell fd `fd` temporarily
+/// pointing at `desc`. `Machine::with_fd` is the scope guard: the
+/// descriptor is closed (with bounded EINTR retry) and the table entry
+/// restored on every exit path, value or exception.
+fn run_with_fd<O: Os + Clone>(
+    m: &mut Machine<O>,
+    fd: u32,
+    desc: Desc,
+    args: RootSlot,
+    idx: usize,
+    env: RootSlot,
+) -> EsResult<Flow> {
+    m.with_fd(fd, desc, |m| {
+        let base = m.heap.roots_len();
+        let result = match arg_slot(m, args, idx) {
+            Some(cmd) => apply_thunk(m, cmd, env, None),
+            None => Ok(Flow::Val(Ref::NIL)),
+        };
+        m.heap.truncate_roots(base);
+        result
+    })
 }
 
 /// `$&create fd file {cmd}` (and open/append): the rewritten form of
@@ -50,19 +60,11 @@ pub fn redir_file<O: Os + Clone>(
         Some(f) => f.clone(),
         None => return Err(m.error("redirection: missing file name")),
     };
-    let desc = match m.os_mut().open(&file, mode) {
+    let desc = match es_os::retry_intr(|| m.os_mut().open(&file, mode)) {
         Ok(d) => d,
         Err(e) => return Err(m.error(&e.to_string())),
     };
-    let saved = m.set_fd(fd, desc);
-    let base = m.heap.roots_len();
-    let result = match arg_slot(m, args, 3) {
-        Some(cmd) => apply_thunk(m, cmd, env, None),
-        None => Ok(Flow::Val(Ref::NIL)),
-    };
-    m.heap.truncate_roots(base);
-    restore_fd(m, fd, saved, desc);
-    result
+    run_with_fd(m, fd, desc, args, 3, env)
 }
 
 /// `$&dup a b {cmd}` — `cmd >[a=b]`: fd `a` becomes a copy of fd `b`.
@@ -73,19 +75,11 @@ pub fn dup<O: Os + Clone>(m: &mut Machine<O>, args: RootSlot, env: RootSlot) -> 
         Some(d) => d,
         None => return Err(m.error(&format!("fd {b} is not open"))),
     };
-    let desc = match m.os_mut().dup(source) {
+    let desc = match es_os::retry_intr(|| m.os_mut().dup(source)) {
         Ok(d) => d,
         Err(e) => return Err(m.error(&e.to_string())),
     };
-    let saved = m.set_fd(a, desc);
-    let base = m.heap.roots_len();
-    let result = match arg_slot(m, args, 3) {
-        Some(cmd) => apply_thunk(m, cmd, env, None),
-        None => Ok(Flow::Val(Ref::NIL)),
-    };
-    m.heap.truncate_roots(base);
-    restore_fd(m, a, saved, desc);
-    result
+    run_with_fd(m, a, desc, args, 3, env)
 }
 
 /// `$&close fd {cmd}` — `cmd >[fd=]`: run with fd closed.
@@ -109,25 +103,17 @@ pub fn here<O: Os + Clone>(m: &mut Machine<O>, args: RootSlot, env: RootSlot) ->
     let fd = fd_arg(m, args, 1)?;
     let strings = m.strings_at(args);
     let text = strings.get(1).cloned().unwrap_or_default();
-    let (r, w) = match m.os_mut().pipe() {
+    let (r, w) = match es_os::retry_intr(|| m.os_mut().pipe()) {
         Ok(p) => p,
         Err(e) => return Err(m.error(&e.to_string())),
     };
-    let write_result = es_os::write_all(m.os_mut(), w, text.as_bytes());
-    let _ = m.os_mut().close(w);
+    let write_result = es_os::write_fully(m.os_mut(), w, text.as_bytes());
+    m.close_desc(w);
     if let Err(e) = write_result {
-        let _ = m.os_mut().close(r);
+        m.close_desc(r);
         return Err(m.error(&e.to_string()));
     }
-    let saved = m.set_fd(fd, r);
-    let base = m.heap.roots_len();
-    let result = match arg_slot(m, args, 3) {
-        Some(cmd) => apply_thunk(m, cmd, env, None),
-        None => Ok(Flow::Val(Ref::NIL)),
-    };
-    m.heap.truncate_roots(base);
-    restore_fd(m, fd, saved, r);
-    result
+    run_with_fd(m, fd, r, args, 3, env)
 }
 
 /// `$&pipe {c1} out1 in1 {c2} [out2 in2 {c3} ...]` — the variadic
@@ -135,6 +121,20 @@ pub fn here<O: Os + Clone>(m: &mut Machine<O>, args: RootSlot, env: RootSlot) ->
 /// writes into an unbounded buffer the next stage reads (the
 /// simulator's run-to-completion model). The value is the last
 /// stage's value.
+/// Restores a saved fd-table entry, closing the temporary descriptor
+/// (with bounded EINTR retry, so injected interrupts can't leak it).
+fn restore_entry<O: Os + Clone>(m: &mut Machine<O>, fd: u32, saved: Option<Desc>, temp: Desc) {
+    m.close_desc(temp);
+    match saved {
+        Some(old) => {
+            m.set_fd(fd, old);
+        }
+        None => {
+            m.remove_fd(fd);
+        }
+    }
+}
+
 pub fn pipe<O: Os + Clone>(m: &mut Machine<O>, args: RootSlot, env: RootSlot) -> EsResult<Flow> {
     let n = value::list_len(&m.heap, m.heap.root(args));
     if n == 0 {
@@ -150,15 +150,19 @@ pub fn pipe<O: Os + Clone>(m: &mut Machine<O>, args: RootSlot, env: RootSlot) ->
         let (out_fd, in_fd) = if is_last {
             (1, 0)
         } else {
-            let out = strings
-                .get(stage)
-                .and_then(|s| s.parse::<u32>().ok())
-                .ok_or_else(|| m.error("pipe: bad fd"))?;
-            let inp = strings
-                .get(stage + 1)
-                .and_then(|s| s.parse::<u32>().ok())
-                .ok_or_else(|| m.error("pipe: bad fd"))?;
-            (out, inp)
+            let out = strings.get(stage).and_then(|s| s.parse::<u32>().ok());
+            let inp = strings.get(stage + 1).and_then(|s| s.parse::<u32>().ok());
+            match (out, inp) {
+                (Some(out), Some(inp)) => (out, inp),
+                _ => {
+                    // The previous stage's read end must not outlive
+                    // this failure.
+                    if let Some(r) = carry_in.take() {
+                        m.close_desc(r);
+                    }
+                    return Err(m.error("pipe: bad fd"));
+                }
+            }
         };
         // Build this stage's fd plumbing.
         let mut saved_in = None;
@@ -171,9 +175,15 @@ pub fn pipe<O: Os + Clone>(m: &mut Machine<O>, args: RootSlot, env: RootSlot) ->
         let mut out_desc = None;
         let mut next_read = None;
         if !is_last {
-            let (r, w) = match m.os_mut().pipe() {
+            let (r, w) = match es_os::retry_intr(|| m.os_mut().pipe()) {
                 Ok(p) => p,
-                Err(e) => return Err(m.error(&e.to_string())),
+                Err(e) => {
+                    // Unwind the input plumbing installed just above.
+                    if let Some((fd, saved)) = saved_in {
+                        restore_entry(m, fd, saved, in_desc.expect("in desc set with saved_in"));
+                    }
+                    return Err(m.error(&e.to_string()));
+                }
             };
             saved_out = Some((out_fd, m.set_fd(out_fd, w)));
             out_desc = Some(w);
@@ -188,16 +198,16 @@ pub fn pipe<O: Os + Clone>(m: &mut Machine<O>, args: RootSlot, env: RootSlot) ->
         m.heap.truncate_roots(base);
         // Restore plumbing before propagating any error.
         if let Some((fd, saved)) = saved_out {
-            restore_fd(m, fd, saved, out_desc.expect("out desc set with saved_out"));
+            restore_entry(m, fd, saved, out_desc.expect("out desc set with saved_out"));
         }
         if let Some((fd, saved)) = saved_in {
-            restore_fd(m, fd, saved, in_desc.expect("in desc set with saved_in"));
+            restore_entry(m, fd, saved, in_desc.expect("in desc set with saved_in"));
         }
         match result {
             Ok(flow) => last = Flow::Val(must_value(flow)),
             Err(e) => {
                 if let Some(r) = next_read {
-                    let _ = m.os_mut().close(r);
+                    m.close_desc(r);
                 }
                 return Err(e);
             }
@@ -217,28 +227,28 @@ pub fn backquote<O: Os + Clone>(
     args: RootSlot,
     env: RootSlot,
 ) -> EsResult<Flow> {
-    let (r, w) = match m.os_mut().pipe() {
+    let (r, w) = match es_os::retry_intr(|| m.os_mut().pipe()) {
         Ok(p) => p,
         Err(e) => return Err(m.error(&e.to_string())),
     };
-    let saved = m.set_fd(1, w);
-    let base = m.heap.roots_len();
-    let result = match arg_slot(m, args, 1) {
-        Some(cmd) => apply_thunk(m, cmd, env, None),
-        None => Ok(Flow::Val(Ref::NIL)),
-    };
-    m.heap.truncate_roots(base);
-    restore_fd(m, 1, saved, w);
+    let result = run_with_fd(m, 1, w, args, 1, env);
     let status = match result {
         Ok(flow) => must_value(flow),
         Err(e) => {
-            let _ = m.os_mut().close(r);
+            m.close_desc(r);
             return Err(e);
         }
     };
     let s_slot = m.heap.push_root(status);
-    let output = es_os::read_all(m.os_mut(), r).unwrap_or_default();
-    let _ = m.os_mut().close(r);
+    let output = es_os::read_all(m.os_mut(), r);
+    m.close_desc(r);
+    let output = match output {
+        Ok(bytes) => bytes,
+        Err(e) => {
+            m.heap.truncate_roots(s_slot.index());
+            return Err(m.error(&format!("backquote: {e}")));
+        }
+    };
     let text = String::from_utf8_lossy(&output).into_owned();
     let ifs: String = m.get_var("ifs").concat();
     let ifs = if ifs.is_empty() { " \t\n".to_string() } else { ifs };

@@ -130,7 +130,7 @@ pub fn cd<O: Os + Clone>(m: &mut Machine<O>, args: RootSlot, env: RootSlot) -> E
             }
         }
     };
-    match m.os_mut().chdir(&dir) {
+    match es_os::retry_intr(|| m.os_mut().chdir(&dir)) {
         Ok(()) => Ok(Flow::Val(value::true_value(&mut m.heap))),
         Err(e) => Err(m.error(&format!("chdir {dir}: {}", e.strerror()))),
     }
@@ -253,12 +253,17 @@ pub fn dot<O: Os + Clone>(m: &mut Machine<O>, args: RootSlot, env: RootSlot) -> 
         Some(f) => f.clone(),
         None => return Err(m.error(". : missing file name")),
     };
-    let desc = match m.os_mut().open(&file, es_os::OpenMode::Read) {
+    let desc = match es_os::retry_intr(|| m.os_mut().open(&file, es_os::OpenMode::Read)) {
         Ok(d) => d,
         Err(e) => return Err(m.error(&format!(". {file}: {}", e.strerror()))),
     };
-    let bytes = es_os::read_all(m.os_mut(), desc).unwrap_or_default();
-    let _ = m.os_mut().close(desc);
+    let bytes = es_os::read_all(m.os_mut(), desc);
+    m.close_desc(desc);
+    let bytes = match bytes {
+        // A script half-read is a script half-run; fail loudly.
+        Err(e) => return Err(m.error(&format!(". {file}: {e}"))),
+        Ok(b) => b,
+    };
     let src = String::from_utf8_lossy(&bytes).into_owned();
     let node = match es_syntax::parse_program(&src) {
         Ok(p) => es_syntax::lower(p),

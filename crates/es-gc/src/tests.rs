@@ -196,8 +196,10 @@ fn clone_is_independent_fork_image() {
 #[test]
 fn pause_fraction_math() {
     use std::time::Duration;
-    let mut s = crate::GcStats::default();
-    s.pause_total = Duration::from_millis(40);
+    let mut s = crate::GcStats {
+        pause_total: Duration::from_millis(40),
+        ..Default::default()
+    };
     assert!((s.pause_fraction(Duration::from_secs(1)) - 0.04).abs() < 1e-12);
     assert_eq!(s.pause_fraction(Duration::ZERO), 0.0);
     s.collections = 4;

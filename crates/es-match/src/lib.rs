@@ -204,12 +204,12 @@ fn match_here(items: &[Item], subj: &[char]) -> bool {
                     si += 1;
                     continue;
                 }
-                Item::Class { negated, ranges } if si < subj.len() => {
-                    if class_matches(*negated, ranges, subj[si]) {
-                        pi += 1;
-                        si += 1;
-                        continue;
-                    }
+                Item::Class { negated, ranges }
+                    if si < subj.len() && class_matches(*negated, ranges, subj[si]) =>
+                {
+                    pi += 1;
+                    si += 1;
+                    continue;
                 }
                 _ => {}
             }

@@ -37,6 +37,12 @@ pub enum OsError {
     NoSys(String),
     /// EIO — an I/O error from the real OS backend.
     Io(String),
+    /// EINTR — the call was interrupted; retrying is safe.
+    Intr,
+    /// ENOSPC — no space left on device.
+    NoSpc(String),
+    /// EMFILE — too many open files.
+    MFile,
 }
 
 impl OsError {
@@ -56,7 +62,16 @@ impl OsError {
             OsError::Child => "No child processes",
             OsError::NoSys(_) => "Function not implemented",
             OsError::Io(_) => "Input/output error",
+            OsError::Intr => "Interrupted system call",
+            OsError::NoSpc(_) => "No space left on device",
+            OsError::MFile => "Too many open files",
         }
+    }
+
+    /// Is this `EINTR`? Such failures happen *before* any state
+    /// changed, so the caller may simply retry the call.
+    pub fn is_intr(&self) -> bool {
+        matches!(self, OsError::Intr)
     }
 
     /// The operand (path, program name, ...) attached to this error.
@@ -71,7 +86,8 @@ impl OsError {
             | OsError::NotEmpty(s)
             | OsError::Inval(s)
             | OsError::NoSys(s)
-            | OsError::Io(s) => Some(s),
+            | OsError::Io(s)
+            | OsError::NoSpc(s) => Some(s),
             _ => None,
         }
     }

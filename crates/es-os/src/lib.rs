@@ -41,6 +41,7 @@
 
 pub mod clock;
 pub mod error;
+pub mod fault;
 pub mod programs;
 pub mod real;
 pub mod sim;
@@ -53,6 +54,7 @@ mod tests;
 
 pub use clock::Rusage;
 pub use error::{OsError, OsResult};
+pub use fault::{FaultEvent, FaultKind, FaultPlan, Syscall};
 pub use real::RealOs;
 pub use sim::{Desc, SimOs};
 pub use vfs::Vfs;
@@ -178,13 +180,34 @@ pub const STDOUT: Desc = Desc(1);
 /// Standard error descriptor.
 pub const STDERR: Desc = Desc(2);
 
+/// How many consecutive `EINTR`s a retry loop tolerates before giving
+/// up. On a real kernel `EINTR` is transient; under fault injection a
+/// hostile plan could return it forever, and an unbounded loop would
+/// turn an injected fault into a hang.
+pub const INTR_RETRY_LIMIT: u32 = 64;
+
+/// Calls `op`, retrying (up to [`INTR_RETRY_LIMIT`] times) while it
+/// fails with `EINTR`. Any other outcome — success or a different
+/// error — is returned as-is; if the limit is exhausted the final
+/// `EINTR` is returned.
+pub fn retry_intr<T, F: FnMut() -> OsResult<T>>(mut op: F) -> OsResult<T> {
+    for _ in 0..INTR_RETRY_LIMIT {
+        match op() {
+            Err(e) if e.is_intr() => continue,
+            other => return other,
+        }
+    }
+    Err(OsError::Intr)
+}
+
 /// Reads everything from a descriptor (convenience built on
-/// [`Os::read`]).
+/// [`Os::read`]). Retries interrupted reads; a short read just means
+/// "go around again", never end-of-file.
 pub fn read_all<O: Os + ?Sized>(os: &mut O, d: Desc) -> OsResult<Vec<u8>> {
     let mut out = Vec::new();
     let mut buf = [0u8; 4096];
     loop {
-        let n = os.read(d, &mut buf)?;
+        let n = retry_intr(|| os.read(d, &mut buf))?;
         if n == 0 {
             return Ok(out);
         }
@@ -192,15 +215,52 @@ pub fn read_all<O: Os + ?Sized>(os: &mut O, d: Desc) -> OsResult<Vec<u8>> {
     }
 }
 
-/// Writes everything to a descriptor (convenience built on
-/// [`Os::write`]).
-pub fn write_all<O: Os + ?Sized>(os: &mut O, d: Desc, mut data: &[u8]) -> OsResult<()> {
-    while !data.is_empty() {
-        let n = os.write(d, data)?;
-        if n == 0 {
-            return Err(OsError::Io("write returned 0".into()));
+/// A write that failed partway: `written` bytes made it out before
+/// `cause` stopped the transfer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WriteError {
+    /// Bytes successfully written before the failure.
+    pub written: usize,
+    /// The kernel error that stopped the transfer.
+    pub cause: OsError,
+}
+
+impl std::fmt::Display for WriteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.written > 0 {
+            write!(f, "{} (after {} bytes written)", self.cause, self.written)
+        } else {
+            write!(f, "{}", self.cause)
         }
-        data = &data[n..];
     }
-    Ok(())
+}
+
+impl std::error::Error for WriteError {}
+
+/// Writes all of `data`, looping on partial writes and retrying
+/// interrupted ones. On success returns the byte count; on failure
+/// reports both the error *and* how much was already written, so
+/// callers can report truncated output honestly.
+pub fn write_fully<O: Os + ?Sized>(os: &mut O, d: Desc, data: &[u8]) -> Result<usize, WriteError> {
+    let mut off = 0;
+    while off < data.len() {
+        match retry_intr(|| os.write(d, &data[off..])) {
+            Ok(0) => {
+                return Err(WriteError {
+                    written: off,
+                    cause: OsError::Io("write returned 0".into()),
+                })
+            }
+            Ok(n) => off += n,
+            Err(cause) => return Err(WriteError { written: off, cause }),
+        }
+    }
+    Ok(off)
+}
+
+/// Writes everything to a descriptor (convenience built on
+/// [`write_fully`]; kept for callers that don't care how much made it
+/// out before a failure).
+pub fn write_all<O: Os + ?Sized>(os: &mut O, d: Desc, data: &[u8]) -> OsResult<()> {
+    write_fully(os, d, data).map(|_| ()).map_err(|e| e.cause)
 }

@@ -203,7 +203,7 @@ impl Os for RealOs {
         // Stage stdin: console inherits; files/pipes are drained into
         // a buffer handed to the child.
         let stdin_data: Option<Vec<u8>> = match lookup(fds, 0) {
-            Some(d) if d == Desc(0) => None,
+            Some(Desc(0)) => None,
             Some(d) => Some(crate::read_all(self, d)?),
             None => Some(Vec::new()),
         };

@@ -4,6 +4,7 @@ use crate::clock::{
     civil_from_ns, Rusage, BYTE_SYS_NS, BYTE_USER_NS, EXEC_SYS_NS, EXEC_USER_NS, SYSCALL_SYS_NS,
 };
 use crate::error::{OsError, OsResult};
+use crate::fault::{FaultEvent, FaultKind, FaultPlan, Syscall};
 use crate::programs::{self, ProgramFn};
 use crate::vfs::Vfs;
 use crate::{OpenMode, Os, Signal};
@@ -93,6 +94,8 @@ pub struct SimOs {
     /// The shell's own pid in the fake process table.
     pub shell_pid: i32,
     shell_sys_ns: u64,
+    /// Armed fault-injection plan, if any (see [`crate::fault`]).
+    fault: Option<FaultPlan>,
 }
 
 impl std::fmt::Debug for SimOs {
@@ -163,6 +166,7 @@ impl SimOs {
                 ("TERM".into(), "vt100".into()),
             ],
             shell_pid: 5000,
+            fault: None,
         }
     }
 
@@ -220,6 +224,54 @@ impl SimOs {
     /// Borrowed current directory (avoids a clone inside ProcCtx).
     pub(crate) fn cwd_ref(&self) -> &str {
         &self.cwd
+    }
+
+    /// Arms (or disarms, with `None`) fault injection. The plan is
+    /// consulted by every `open`/`read`/`write`/`pipe`/`dup`/`close`/
+    /// `run`/`chdir` the shell issues.
+    pub fn set_fault_plan(&mut self, plan: Option<FaultPlan>) {
+        self.fault = plan;
+    }
+
+    /// The armed plan, if any (its log tells you what was injected).
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault.as_ref()
+    }
+
+    /// Takes the armed plan's event log (empty if no plan).
+    pub fn take_fault_log(&mut self) -> Vec<FaultEvent> {
+        self.fault
+            .as_mut()
+            .map(|p| std::mem::take(p.log_mut()))
+            .unwrap_or_default()
+    }
+
+    /// How many descriptor-table slots are currently open (the fresh
+    /// kernel has 3: stdin/stdout/stderr). Leak checks compare this
+    /// against a baseline snapshot.
+    pub fn open_desc_count(&self) -> usize {
+        self.files.iter().flatten().count()
+    }
+
+    /// Consults the armed plan for this syscall; `None` means proceed
+    /// normally. Injection happens *before* any kernel state changes,
+    /// so an injected `EINTR` is always safely retryable.
+    fn inject(&mut self, sc: Syscall, allowed: &[FaultKind]) -> Option<FaultKind> {
+        self.fault.as_mut()?.decide(sc, allowed)
+    }
+
+    /// Maps an injected fault kind to the errno it surfaces as.
+    fn fault_error(kind: FaultKind, operand: &str) -> OsError {
+        match kind {
+            FaultKind::Intr => OsError::Intr,
+            FaultKind::NoSpc => OsError::NoSpc(operand.to_string()),
+            FaultKind::MFile => OsError::MFile,
+            // ShortRead / PartialWrite never reach here from their own
+            // syscalls; a schedule forcing them elsewhere degrades to EIO.
+            FaultKind::Io | FaultKind::ShortRead | FaultKind::PartialWrite => {
+                OsError::Io(operand.to_string())
+            }
+        }
     }
 
     // ---- internals shared with ProcCtx -------------------------------------
@@ -368,6 +420,18 @@ impl SimOs {
 
 impl Os for SimOs {
     fn open(&mut self, path: &str, mode: OpenMode) -> OsResult<Desc> {
+        let allowed: &[FaultKind] = match mode {
+            OpenMode::Read => &[FaultKind::Intr, FaultKind::MFile, FaultKind::Io],
+            OpenMode::Write | OpenMode::Append => &[
+                FaultKind::Intr,
+                FaultKind::MFile,
+                FaultKind::NoSpc,
+                FaultKind::Io,
+            ],
+        };
+        if let Some(kind) = self.inject(Syscall::Open, allowed) {
+            return Err(Self::fault_error(kind, path));
+        }
         let (ino, readable, writable, append) = match mode {
             OpenMode::Read => {
                 let ino = self.vfs.lookup(path, &self.cwd)?;
@@ -399,6 +463,9 @@ impl Os for SimOs {
     }
 
     fn pipe(&mut self) -> OsResult<(Desc, Desc)> {
+        if let Some(kind) = self.inject(Syscall::Pipe, &[FaultKind::Intr, FaultKind::MFile]) {
+            return Err(Self::fault_error(kind, "pipe"));
+        }
         let p = self.pipes.len();
         self.pipes.push(Pipe {
             buf: VecDeque::new(),
@@ -412,6 +479,9 @@ impl Os for SimOs {
     }
 
     fn dup(&mut self, d: Desc) -> OsResult<Desc> {
+        if let Some(kind) = self.inject(Syscall::Dup, &[FaultKind::Intr, FaultKind::MFile]) {
+            return Err(Self::fault_error(kind, "dup"));
+        }
         let kind = self.file(d)?.kind.clone();
         if let Some(Some(of)) = self.files.get_mut(d.0 as usize) {
             of.refs += 1;
@@ -425,6 +495,12 @@ impl Os for SimOs {
     }
 
     fn close(&mut self, d: Desc) -> OsResult<()> {
+        // Close only injects EINTR-before-anything-happened (the one
+        // safe interpretation of EINTR-from-close); the descriptor
+        // stays open and the caller retries.
+        if let Some(kind) = self.inject(Syscall::Close, &[FaultKind::Intr]) {
+            return Err(Self::fault_error(kind, "close"));
+        }
         let idx = d.0 as usize;
         let of = self
             .files
@@ -446,11 +522,46 @@ impl Os for SimOs {
     }
 
     fn read(&mut self, d: Desc, buf: &mut [u8]) -> OsResult<usize> {
-        self.do_read(d, buf)
+        let allowed: &[FaultKind] = if buf.len() >= 2 {
+            &[FaultKind::Intr, FaultKind::Io, FaultKind::ShortRead]
+        } else {
+            // A 1-byte read can't be meaningfully shortened (0 would
+            // read as EOF), so short reads only apply to larger buffers.
+            &[FaultKind::Intr, FaultKind::Io]
+        };
+        match self.inject(Syscall::Read, allowed) {
+            Some(FaultKind::ShortRead) if buf.len() >= 2 => {
+                let n = 1 + self.fault.as_mut().expect("plan armed").draw_below(buf.len() as u64 - 1)
+                    as usize;
+                self.do_read(d, &mut buf[..n])
+            }
+            Some(kind) => Err(Self::fault_error(kind, "read")),
+            None => self.do_read(d, buf),
+        }
     }
 
     fn write(&mut self, d: Desc, data: &[u8]) -> OsResult<usize> {
-        self.do_write(d, data)
+        let allowed: &[FaultKind] = if data.len() >= 2 {
+            &[
+                FaultKind::Intr,
+                FaultKind::Io,
+                FaultKind::NoSpc,
+                FaultKind::PartialWrite,
+            ]
+        } else {
+            &[FaultKind::Intr, FaultKind::Io, FaultKind::NoSpc]
+        };
+        match self.inject(Syscall::Write, allowed) {
+            Some(FaultKind::PartialWrite) if data.len() >= 2 => {
+                // Consume only a nonempty strict prefix; the caller
+                // must loop for the rest.
+                let n = 1 + self.fault.as_mut().expect("plan armed").draw_below(data.len() as u64 - 1)
+                    as usize;
+                self.do_write(d, &data[..n])
+            }
+            Some(kind) => Err(Self::fault_error(kind, "")),
+            None => self.do_write(d, data),
+        }
     }
 
     fn run(
@@ -460,6 +571,9 @@ impl Os for SimOs {
         fds: &[(u32, Desc)],
     ) -> OsResult<i32> {
         let path = argv.first().ok_or_else(|| OsError::Inval("empty argv".into()))?;
+        if let Some(kind) = self.inject(Syscall::Run, &[FaultKind::Intr, FaultKind::Io]) {
+            return Err(Self::fault_error(kind, path));
+        }
         let ino = self.vfs.lookup(path, &self.cwd)?;
         let key = match self.vfs.program_of(ino) {
             Some(k) => k.to_string(),
@@ -488,6 +602,9 @@ impl Os for SimOs {
     }
 
     fn chdir(&mut self, path: &str) -> OsResult<()> {
+        if let Some(kind) = self.inject(Syscall::Chdir, &[FaultKind::Intr, FaultKind::Io]) {
+            return Err(Self::fault_error(kind, path));
+        }
         let ino = self.vfs.lookup(path, &self.cwd)?;
         if self.vfs.program_of(ino).is_some() || self.vfs.is_file(path, &self.cwd) {
             return Err(OsError::NotDir(path.to_string()));

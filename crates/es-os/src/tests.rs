@@ -598,3 +598,148 @@ fn nl_tac_cmp_which() {
     assert_eq!(run_prog(&mut os, "which", &["ls"], "").1, "/bin/ls\n");
     assert_eq!(run_prog(&mut os, "which", &["nosuch"], "").0, 1);
 }
+
+// --------------------------------------------------------------------------
+// Fault injection (crate::fault)
+// --------------------------------------------------------------------------
+
+use crate::fault::{FaultKind, FaultPlan, Syscall};
+use crate::{retry_intr, write_fully};
+
+#[test]
+fn fault_scheduled_fires_on_exact_call() {
+    let mut os = SimOs::new();
+    os.set_fault_plan(Some(
+        FaultPlan::new(1).scheduled(Syscall::Open, 2, FaultKind::MFile),
+    ));
+    let a = os.open("/tmp/a", OpenMode::Write).unwrap();
+    assert_eq!(os.open("/tmp/b", OpenMode::Write), Err(OsError::MFile));
+    let c = os.open("/tmp/c", OpenMode::Write).unwrap();
+    os.close(a).unwrap();
+    os.close(c).unwrap();
+    let log = os.take_fault_log();
+    assert_eq!(log.len(), 1);
+    assert_eq!(log[0].syscall, Syscall::Open);
+    assert_eq!(log[0].call, 2);
+    assert_eq!(log[0].kind, FaultKind::MFile);
+}
+
+#[test]
+fn fault_eintr_is_injected_before_state_changes() {
+    // An interrupted open must not create, truncate, or leak anything;
+    // a retry loop must succeed and see the original file intact.
+    let mut os = SimOs::new();
+    os.vfs_mut().put_file("/tmp/keep", b"payload").unwrap();
+    let baseline = os.open_desc_count();
+    os.set_fault_plan(Some(
+        FaultPlan::new(2)
+            .scheduled(Syscall::Open, 1, FaultKind::Intr)
+            .scheduled(Syscall::Close, 1, FaultKind::Intr),
+    ));
+    let fd = retry_intr(|| os.open("/tmp/keep", OpenMode::Read)).unwrap();
+    assert_eq!(read_all(&mut os, fd).unwrap(), b"payload");
+    retry_intr(|| os.close(fd)).unwrap();
+    assert_eq!(os.open_desc_count(), baseline, "no leaked descriptor");
+    assert_eq!(os.take_fault_log().len(), 2);
+}
+
+#[test]
+fn fault_partial_write_consumes_prefix_and_write_fully_loops() {
+    let mut os = SimOs::new();
+    os.set_fault_plan(Some(
+        FaultPlan::new(3).scheduled(Syscall::Write, 1, FaultKind::PartialWrite),
+    ));
+    let fd = os.open("/tmp/partial", OpenMode::Write).unwrap();
+    let n = os.write(fd, b"0123456789").unwrap();
+    assert!((1..10).contains(&n), "strict nonempty prefix, got {n}");
+    // The hardened writer finishes the job across the fault.
+    let fd2 = os.open("/tmp/full", OpenMode::Write).unwrap();
+    os.set_fault_plan(Some(
+        FaultPlan::new(3)
+            .scheduled(Syscall::Write, 1, FaultKind::PartialWrite)
+            .scheduled(Syscall::Write, 2, FaultKind::Intr),
+    ));
+    assert_eq!(write_fully(&mut os, fd2, b"0123456789"), Ok(10));
+    os.close(fd).unwrap();
+    os.close(fd2).unwrap();
+    let fd = os.open("/tmp/full", OpenMode::Read).unwrap();
+    assert_eq!(read_all(&mut os, fd).unwrap(), b"0123456789");
+    os.close(fd).unwrap();
+}
+
+#[test]
+fn fault_short_read_is_not_eof() {
+    let mut os = SimOs::new();
+    os.vfs_mut().put_file("/tmp/data", b"abcdefgh").unwrap();
+    os.set_fault_plan(Some(
+        FaultPlan::new(4).scheduled(Syscall::Read, 1, FaultKind::ShortRead),
+    ));
+    let fd = os.open("/tmp/data", OpenMode::Read).unwrap();
+    // read_all keeps reading past the short read and sees every byte.
+    assert_eq!(read_all(&mut os, fd).unwrap(), b"abcdefgh");
+    os.close(fd).unwrap();
+    let log = os.take_fault_log();
+    assert_eq!(log[0].kind, FaultKind::ShortRead);
+}
+
+#[test]
+fn fault_write_fully_reports_bytes_written_on_hard_error() {
+    let mut os = SimOs::new();
+    os.set_fault_plan(Some(
+        FaultPlan::new(5)
+            .scheduled(Syscall::Write, 1, FaultKind::PartialWrite)
+            .scheduled(Syscall::Write, 2, FaultKind::NoSpc),
+    ));
+    let fd = os.open("/tmp/out", OpenMode::Write).unwrap();
+    let err = write_fully(&mut os, fd, b"0123456789").unwrap_err();
+    assert_eq!(err.cause, OsError::NoSpc(String::new()));
+    assert!((1..10).contains(&err.written), "{}", err.written);
+    os.close(fd).unwrap();
+}
+
+#[test]
+fn fault_probabilistic_plan_replays_identically() {
+    // Two runs of the same syscall trace under the same seed inject
+    // byte-identically; a different seed diverges (overwhelmingly).
+    fn trace(seed: u64) -> (Vec<String>, Vec<u8>) {
+        let mut os = SimOs::new();
+        os.set_fault_plan(Some(FaultPlan::new(seed).uniform_rate(200)));
+        let mut outcomes = Vec::new();
+        for i in 0..40 {
+            let path = format!("/tmp/f{i}");
+            match retry_intr(|| os.open(&path, OpenMode::Write)) {
+                Ok(fd) => {
+                    let r = write_fully(&mut os, fd, format!("line {i}\n").as_bytes());
+                    outcomes.push(format!("open+write {i}: {r:?}"));
+                    retry_intr(|| os.close(fd)).ok();
+                }
+                Err(e) => outcomes.push(format!("open {i}: {e:?}")),
+            }
+        }
+        let log = os
+            .take_fault_log()
+            .iter()
+            .map(|e| e.to_string())
+            .collect::<Vec<_>>()
+            .join(";")
+            .into_bytes();
+        (outcomes, log)
+    }
+    let (a1, l1) = trace(42);
+    let (a2, l2) = trace(42);
+    assert_eq!(a1, a2, "outcomes replay from the seed");
+    assert_eq!(l1, l2, "fault log replays from the seed");
+    assert!(!l1.is_empty(), "a 20% uniform rate injects something in 40 iterations");
+    let (a3, _) = trace(43);
+    assert_ne!(a1, a3, "different seed, different weather");
+}
+
+#[test]
+fn fault_zero_rate_plan_is_inert() {
+    let mut os = SimOs::new();
+    os.set_fault_plan(Some(FaultPlan::new(9)));
+    let (st, out) = run_prog(&mut os, "echo", &["quiet"], "");
+    assert_eq!((st, out.as_str()), (0, "quiet\n"));
+    assert!(os.take_fault_log().is_empty());
+    assert!(os.fault_plan().unwrap().calls_seen() > 0, "plan was consulted");
+}

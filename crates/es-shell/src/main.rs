@@ -132,8 +132,7 @@ fn main() -> ExitCode {
         .stack_size(256 << 20)
         .spawn(move || {
             if args.real {
-                let status = run_shell(RealOs::new(), args);
-                status
+                run_shell(RealOs::new(), args)
             } else {
                 let mut os = SimOs::new();
                 os.set_interactive(true);

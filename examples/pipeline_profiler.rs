@@ -28,7 +28,7 @@ fn synthesize_paper() -> String {
             n = n.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
             let pick = (n >> 33) as usize;
             // Common words ~4x more often than rare ones.
-            if pick % 5 != 0 {
+            if !pick.is_multiple_of(5) {
                 out.push_str(common[pick % common.len()]);
             } else {
                 out.push_str(rare[(pick / 7) % rare.len()]);

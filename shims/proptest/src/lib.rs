@@ -1,0 +1,195 @@
+//! A self-contained, deterministic subset of the `proptest` API.
+//!
+//! The real crates-io `proptest` cannot be vendored in this offline
+//! build environment, so this shim reimplements exactly the surface
+//! the workspace uses:
+//!
+//! * `proptest! { ... }` blocks (with optional `#![proptest_config]`),
+//! * `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!`,
+//! * string strategies written as regex-like character classes
+//!   (`"[a-z0-9]{1,8}"`, including escapes and `&&[^...]` intersection),
+//! * integer range strategies (`0usize..8`),
+//! * `any::<bool>()`, tuple strategies, `collection::vec`,
+//!   and `Strategy::prop_filter`.
+//!
+//! Generation is deterministic: each test derives its RNG seed from
+//! the test's module path and name, so failures reproduce exactly
+//! across runs. There is no shrinking — the failing inputs are printed
+//! verbatim instead, which is enough for the small value domains used
+//! here.
+
+pub mod collection;
+pub mod pattern;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    //! What `use proptest::prelude::*` is expected to provide.
+    pub use crate::strategy::{any, Arbitrary, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Deterministic 64-bit RNG (splitmix64): tiny, fast, and good enough
+/// for test-data generation.
+#[derive(Debug, Clone)]
+pub struct Rng {
+    state: u64,
+}
+
+impl Rng {
+    /// Seeds directly.
+    pub fn new(seed: u64) -> Rng {
+        Rng {
+            state: seed ^ 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+
+    /// Seeds from a test name so every test gets a distinct, stable
+    /// stream.
+    pub fn from_name(name: &str) -> Rng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325; // FNV-1a
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        Rng::new(h)
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be nonzero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        // Multiply-shift bounded sampling; bias is negligible for the
+        // tiny bounds used in tests.
+        (((self.next_u64() >> 11) as u128 * bound as u128) >> 53) as u64
+    }
+
+    /// Uniform bool.
+    pub fn bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+}
+
+/// `prop_assert!(cond)` / `prop_assert!(cond, "fmt", args...)` —
+/// returns a [`test_runner::TestCaseError`] from the enclosing
+/// proptest body instead of panicking.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// `prop_assert_eq!(left, right[, "fmt", args...])`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "{}\n  left: {:?}\n right: {:?}",
+                    format!($($fmt)*),
+                    l,
+                    r
+                ),
+            ));
+        }
+    }};
+}
+
+/// `prop_assert_ne!(left, right)`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+/// The `proptest!` block: expands each `fn name(arg in strategy, ...)`
+/// into a `#[test]` that runs the body over `config.cases` generated
+/// inputs, reporting the first failing input.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::test_runner::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr); $(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let cfg: $crate::test_runner::ProptestConfig = $cfg;
+            let mut rng =
+                $crate::Rng::from_name(concat!(module_path!(), "::", stringify!($name)));
+            for case in 0..cfg.cases {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                let shown = format!(
+                    concat!($(stringify!($arg), " = {:?}  "),+),
+                    $(&$arg),+
+                );
+                let outcome = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(
+                    || -> ::core::result::Result<(), $crate::test_runner::TestCaseError> {
+                        $body
+                        Ok(())
+                    },
+                ));
+                match outcome {
+                    Ok(Ok(())) => {}
+                    Ok(Err(e)) => panic!(
+                        "proptest {} failed at case {}/{}: {}\ninputs: {}",
+                        stringify!($name), case + 1, cfg.cases, e, shown
+                    ),
+                    Err(payload) => {
+                        eprintln!(
+                            "proptest {} panicked at case {}/{}\ninputs: {}",
+                            stringify!($name), case + 1, cfg.cases, shown
+                        );
+                        ::std::panic::resume_unwind(payload);
+                    }
+                }
+            }
+        }
+        $crate::__proptest_fns! { ($cfg); $($rest)* }
+    };
+    (($cfg:expr);) => {};
+}

@@ -1,0 +1,187 @@
+//! The [`Strategy`] trait and the built-in strategy implementations.
+
+use crate::pattern::ClassPattern;
+use crate::Rng;
+use std::fmt::Debug;
+use std::ops::Range;
+
+/// A generator of test values. Unlike real proptest there is no
+/// shrinking tree: `generate` yields one value per call.
+pub trait Strategy {
+    /// The type of the generated values.
+    type Value: Debug;
+
+    /// Draws one value from the strategy.
+    fn generate(&self, rng: &mut Rng) -> Self::Value;
+
+    /// Keeps only values satisfying `pred`, retrying generation.
+    /// `why` labels the filter in the panic raised if the predicate
+    /// essentially never passes.
+    fn prop_filter<F>(self, why: &'static str, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            why,
+            pred,
+        }
+    }
+}
+
+/// Regex-like character-class patterns: `"[a-z0-9]{1,8}"`.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut Rng) -> String {
+        ClassPattern::parse(self)
+            .unwrap_or_else(|e| panic!("unsupported proptest pattern {self:?}: {e}"))
+            .generate(rng)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut Rng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end - self.start) as u64;
+                self.start + rng.below(span) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(usize, u64, u32, u16, u8);
+
+impl Strategy for Range<i64> {
+    type Value = i64;
+
+    fn generate(&self, rng: &mut Rng) -> i64 {
+        assert!(self.start < self.end, "empty range strategy");
+        let span = (self.end - self.start) as u64;
+        self.start + rng.below(span) as i64
+    }
+}
+
+impl Strategy for Range<i32> {
+    type Value = i32;
+
+    fn generate(&self, rng: &mut Rng) -> i32 {
+        assert!(self.start < self.end, "empty range strategy");
+        let span = (self.end as i64 - self.start as i64) as u64;
+        (self.start as i64 + rng.below(span) as i64) as i32
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut Rng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+
+/// The filtering adapter returned by [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    why: &'static str,
+    pred: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut Rng) -> S::Value {
+        for _ in 0..10_000 {
+            let v = self.inner.generate(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter {:?} rejected 10000 values in a row", self.why);
+    }
+}
+
+/// Types with a canonical "any value" strategy (`any::<bool>()`).
+pub trait Arbitrary: Sized + Debug {
+    /// The strategy `any` returns for this type.
+    type Strategy: Strategy<Value = Self>;
+
+    /// The canonical full-domain strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// The full domain of `A`.
+pub fn any<A: Arbitrary>() -> A::Strategy {
+    A::arbitrary()
+}
+
+/// Uniform booleans.
+#[derive(Debug, Clone, Copy)]
+pub struct AnyBool;
+
+impl Strategy for AnyBool {
+    type Value = bool;
+
+    fn generate(&self, rng: &mut Rng) -> bool {
+        rng.bool()
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = AnyBool;
+
+    fn arbitrary() -> AnyBool {
+        AnyBool
+    }
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            type Strategy = AnyInt<$t>;
+
+            fn arbitrary() -> AnyInt<$t> {
+                AnyInt(std::marker::PhantomData)
+            }
+        }
+    )*};
+}
+
+/// Full-width integers from the raw RNG stream.
+#[derive(Debug, Clone, Copy)]
+pub struct AnyInt<T>(std::marker::PhantomData<T>);
+
+macro_rules! any_int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for AnyInt<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut Rng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+any_int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);

@@ -295,3 +295,53 @@ fn es_script_files_run_like_programs() {
         "=== build ===\ncompiling webapp\n=== test ===\ntesting webapp\n"
     );
 }
+
+#[test]
+fn exception_inside_redirected_block_restores_fd_layout() {
+    // An exception thrown inside `{ ... } > file` must unwind the
+    // redirection: stdout goes back to the console, the temporary
+    // descriptor is closed, and the shell keeps working.
+    let mut m = machine();
+    let baseline = m.os().open_desc_count();
+    m.run("fn boom { throw error kaboom }").unwrap();
+    let caught = m
+        .run("catch @ e { result $e } { { echo doomed; boom } > /tmp/red.txt }")
+        .unwrap();
+    assert_eq!(caught, vec!["error", "kaboom"]);
+    // The redirection wrote before the throw, then unwound cleanly.
+    m.run("cat /tmp/red.txt").unwrap();
+    m.run("echo back-on-console").unwrap();
+    assert_eq!(m.os_mut().take_output(), "doomed\nback-on-console\n");
+    assert_eq!(
+        m.os().open_desc_count(),
+        baseline,
+        "redirection descriptor closed on the exception path"
+    );
+}
+
+#[test]
+fn catch_observes_injected_enospc_as_error_exception() {
+    use es_os::{FaultKind, FaultPlan, Syscall};
+    // A full disk surfaces from `%create` (the > redirection) as a
+    // plain catchable `error` exception, not a crash.
+    let mut m = machine();
+    let baseline = m.os().open_desc_count();
+    m.os_mut().set_fault_plan(Some(
+        FaultPlan::new(11).scheduled(Syscall::Open, 1, FaultKind::NoSpc),
+    ));
+    let caught = m
+        .run("catch @ e { result $e } { echo doomed > /tmp/full.txt }")
+        .unwrap();
+    assert_eq!(
+        caught,
+        vec!["error", "/tmp/full.txt: No space left on device"]
+    );
+    // The disk "recovers" (the schedule only hits the first open) and
+    // the same redirection now succeeds with the fd table intact.
+    m.run("echo survived > /tmp/full.txt").unwrap();
+    m.run("cat /tmp/full.txt").unwrap();
+    assert_eq!(m.os_mut().take_output(), "survived\n");
+    assert_eq!(m.os().open_desc_count(), baseline, "no leaked descriptor");
+    let log = m.os_mut().take_fault_log();
+    assert_eq!(log.len(), 1, "exactly the scheduled fault fired: {log:?}");
+}
