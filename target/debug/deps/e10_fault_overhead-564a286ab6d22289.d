@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e10_fault_overhead-564a286ab6d22289.d: crates/bench/benches/e10_fault_overhead.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe10_fault_overhead-564a286ab6d22289.rmeta: crates/bench/benches/e10_fault_overhead.rs Cargo.toml
+
+crates/bench/benches/e10_fault_overhead.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

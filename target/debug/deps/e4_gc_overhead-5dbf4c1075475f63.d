@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e4_gc_overhead-5dbf4c1075475f63.d: crates/bench/benches/e4_gc_overhead.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe4_gc_overhead-5dbf4c1075475f63.rmeta: crates/bench/benches/e4_gc_overhead.rs Cargo.toml
+
+crates/bench/benches/e4_gc_overhead.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

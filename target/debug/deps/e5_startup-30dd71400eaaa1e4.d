@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e5_startup-30dd71400eaaa1e4.d: crates/bench/benches/e5_startup.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe5_startup-30dd71400eaaa1e4.rmeta: crates/bench/benches/e5_startup.rs Cargo.toml
+
+crates/bench/benches/e5_startup.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e6_tailcall-3227e63fdac84397.d: crates/bench/benches/e6_tailcall.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe6_tailcall-3227e63fdac84397.rmeta: crates/bench/benches/e6_tailcall.rs Cargo.toml
+
+crates/bench/benches/e6_tailcall.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e7_hook_ablation-08448a5a0056130b.d: crates/bench/benches/e7_hook_ablation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe7_hook_ablation-08448a5a0056130b.rmeta: crates/bench/benches/e7_hook_ablation.rs Cargo.toml
+
+crates/bench/benches/e7_hook_ablation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e8_rich_returns-7a56caf909fc7bf6.d: crates/bench/benches/e8_rich_returns.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe8_rich_returns-7a56caf909fc7bf6.rmeta: crates/bench/benches/e8_rich_returns.rs Cargo.toml
+
+crates/bench/benches/e8_rich_returns.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

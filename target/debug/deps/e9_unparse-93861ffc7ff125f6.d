@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e9_unparse-93861ffc7ff125f6.d: crates/bench/benches/e9_unparse.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe9_unparse-93861ffc7ff125f6.rmeta: crates/bench/benches/e9_unparse.rs Cargo.toml
+
+crates/bench/benches/e9_unparse.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

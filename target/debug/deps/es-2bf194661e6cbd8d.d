@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/es-2bf194661e6cbd8d.d: crates/es-shell/src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libes-2bf194661e6cbd8d.rmeta: crates/es-shell/src/main.rs Cargo.toml
+
+crates/es-shell/src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/es-66ee12b49d49c735.d: crates/es-shell/src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libes-66ee12b49d49c735.rmeta: crates/es-shell/src/main.rs Cargo.toml
+
+crates/es-shell/src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/es-704df07732b49df0.d: crates/es-shell/src/main.rs
+
+/root/repo/target/debug/deps/es-704df07732b49df0: crates/es-shell/src/main.rs
+
+crates/es-shell/src/main.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/es-e7431d49e099e1c2.d: crates/es-shell/src/main.rs
+
+/root/repo/target/debug/deps/es-e7431d49e099e1c2: crates/es-shell/src/main.rs
+
+crates/es-shell/src/main.rs:

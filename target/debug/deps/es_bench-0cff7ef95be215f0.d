@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/es_bench-0cff7ef95be215f0.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libes_bench-0cff7ef95be215f0.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libes_bench-0cff7ef95be215f0.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

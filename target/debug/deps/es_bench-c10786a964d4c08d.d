@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/es_bench-c10786a964d4c08d.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/es_bench-c10786a964d4c08d: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/es_bench-c75e45a259b6bac9.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libes_bench-c75e45a259b6bac9.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

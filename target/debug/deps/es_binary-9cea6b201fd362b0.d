@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/es_binary-9cea6b201fd362b0.d: tests/es_binary.rs
+
+/root/repo/target/debug/deps/es_binary-9cea6b201fd362b0: tests/es_binary.rs
+
+tests/es_binary.rs:
+
+# env-dep:CARGO=/root/.rustup/toolchains/stable-x86_64-unknown-linux-gnu/bin/cargo
+# env-dep:CARGO_MANIFEST_DIR=/root/repo

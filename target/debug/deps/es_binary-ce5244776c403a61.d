@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/es_binary-ce5244776c403a61.d: tests/es_binary.rs Cargo.toml
+
+/root/repo/target/debug/deps/libes_binary-ce5244776c403a61.rmeta: tests/es_binary.rs Cargo.toml
+
+tests/es_binary.rs:
+Cargo.toml:
+
+# env-dep:CARGO=/root/.rustup/toolchains/stable-x86_64-unknown-linux-gnu/bin/cargo
+# env-dep:CARGO_MANIFEST_DIR=/root/repo
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

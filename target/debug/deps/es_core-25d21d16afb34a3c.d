@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/es_core-25d21d16afb34a3c.d: crates/core/src/lib.rs crates/core/src/env.rs crates/core/src/eval.rs crates/core/src/exception.rs crates/core/src/machine.rs crates/core/src/prims/mod.rs crates/core/src/prims/control.rs crates/core/src/prims/io.rs crates/core/src/prims/misc.rs crates/core/src/value.rs crates/core/src/initial.es Cargo.toml
+
+/root/repo/target/debug/deps/libes_core-25d21d16afb34a3c.rmeta: crates/core/src/lib.rs crates/core/src/env.rs crates/core/src/eval.rs crates/core/src/exception.rs crates/core/src/machine.rs crates/core/src/prims/mod.rs crates/core/src/prims/control.rs crates/core/src/prims/io.rs crates/core/src/prims/misc.rs crates/core/src/value.rs crates/core/src/initial.es Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/env.rs:
+crates/core/src/eval.rs:
+crates/core/src/exception.rs:
+crates/core/src/machine.rs:
+crates/core/src/prims/mod.rs:
+crates/core/src/prims/control.rs:
+crates/core/src/prims/io.rs:
+crates/core/src/prims/misc.rs:
+crates/core/src/value.rs:
+crates/core/src/initial.es:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

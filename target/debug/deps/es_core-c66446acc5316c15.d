@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/es_core-c66446acc5316c15.d: crates/core/src/lib.rs crates/core/src/env.rs crates/core/src/eval.rs crates/core/src/exception.rs crates/core/src/machine.rs crates/core/src/prims/mod.rs crates/core/src/prims/control.rs crates/core/src/prims/io.rs crates/core/src/prims/misc.rs crates/core/src/value.rs crates/core/src/initial.es
+
+/root/repo/target/debug/deps/libes_core-c66446acc5316c15.rlib: crates/core/src/lib.rs crates/core/src/env.rs crates/core/src/eval.rs crates/core/src/exception.rs crates/core/src/machine.rs crates/core/src/prims/mod.rs crates/core/src/prims/control.rs crates/core/src/prims/io.rs crates/core/src/prims/misc.rs crates/core/src/value.rs crates/core/src/initial.es
+
+/root/repo/target/debug/deps/libes_core-c66446acc5316c15.rmeta: crates/core/src/lib.rs crates/core/src/env.rs crates/core/src/eval.rs crates/core/src/exception.rs crates/core/src/machine.rs crates/core/src/prims/mod.rs crates/core/src/prims/control.rs crates/core/src/prims/io.rs crates/core/src/prims/misc.rs crates/core/src/value.rs crates/core/src/initial.es
+
+crates/core/src/lib.rs:
+crates/core/src/env.rs:
+crates/core/src/eval.rs:
+crates/core/src/exception.rs:
+crates/core/src/machine.rs:
+crates/core/src/prims/mod.rs:
+crates/core/src/prims/control.rs:
+crates/core/src/prims/io.rs:
+crates/core/src/prims/misc.rs:
+crates/core/src/value.rs:
+crates/core/src/initial.es:

@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/es_core-d68e50016ab73332.d: crates/core/src/lib.rs crates/core/src/env.rs crates/core/src/eval.rs crates/core/src/exception.rs crates/core/src/machine.rs crates/core/src/prims/mod.rs crates/core/src/prims/control.rs crates/core/src/prims/io.rs crates/core/src/prims/misc.rs crates/core/src/value.rs crates/core/src/tests.rs crates/core/src/tests_prop.rs crates/core/src/initial.es Cargo.toml
+
+/root/repo/target/debug/deps/libes_core-d68e50016ab73332.rmeta: crates/core/src/lib.rs crates/core/src/env.rs crates/core/src/eval.rs crates/core/src/exception.rs crates/core/src/machine.rs crates/core/src/prims/mod.rs crates/core/src/prims/control.rs crates/core/src/prims/io.rs crates/core/src/prims/misc.rs crates/core/src/value.rs crates/core/src/tests.rs crates/core/src/tests_prop.rs crates/core/src/initial.es Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/env.rs:
+crates/core/src/eval.rs:
+crates/core/src/exception.rs:
+crates/core/src/machine.rs:
+crates/core/src/prims/mod.rs:
+crates/core/src/prims/control.rs:
+crates/core/src/prims/io.rs:
+crates/core/src/prims/misc.rs:
+crates/core/src/value.rs:
+crates/core/src/tests.rs:
+crates/core/src/tests_prop.rs:
+crates/core/src/initial.es:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

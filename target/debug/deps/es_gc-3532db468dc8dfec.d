@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/es_gc-3532db468dc8dfec.d: crates/es-gc/src/lib.rs crates/es-gc/src/heap.rs crates/es-gc/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libes_gc-3532db468dc8dfec.rmeta: crates/es-gc/src/lib.rs crates/es-gc/src/heap.rs crates/es-gc/src/stats.rs Cargo.toml
+
+crates/es-gc/src/lib.rs:
+crates/es-gc/src/heap.rs:
+crates/es-gc/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/es_gc-669df6cee0948de8.d: crates/es-gc/src/lib.rs crates/es-gc/src/heap.rs crates/es-gc/src/stats.rs crates/es-gc/src/tests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libes_gc-669df6cee0948de8.rmeta: crates/es-gc/src/lib.rs crates/es-gc/src/heap.rs crates/es-gc/src/stats.rs crates/es-gc/src/tests.rs Cargo.toml
+
+crates/es-gc/src/lib.rs:
+crates/es-gc/src/heap.rs:
+crates/es-gc/src/stats.rs:
+crates/es-gc/src/tests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

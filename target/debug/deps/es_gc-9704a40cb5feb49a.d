@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/es_gc-9704a40cb5feb49a.d: crates/es-gc/src/lib.rs crates/es-gc/src/heap.rs crates/es-gc/src/stats.rs
+
+/root/repo/target/debug/deps/libes_gc-9704a40cb5feb49a.rlib: crates/es-gc/src/lib.rs crates/es-gc/src/heap.rs crates/es-gc/src/stats.rs
+
+/root/repo/target/debug/deps/libes_gc-9704a40cb5feb49a.rmeta: crates/es-gc/src/lib.rs crates/es-gc/src/heap.rs crates/es-gc/src/stats.rs
+
+crates/es-gc/src/lib.rs:
+crates/es-gc/src/heap.rs:
+crates/es-gc/src/stats.rs:

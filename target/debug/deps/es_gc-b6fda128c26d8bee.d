@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/es_gc-b6fda128c26d8bee.d: crates/es-gc/src/lib.rs crates/es-gc/src/heap.rs crates/es-gc/src/stats.rs crates/es-gc/src/tests.rs
+
+/root/repo/target/debug/deps/es_gc-b6fda128c26d8bee: crates/es-gc/src/lib.rs crates/es-gc/src/heap.rs crates/es-gc/src/stats.rs crates/es-gc/src/tests.rs
+
+crates/es-gc/src/lib.rs:
+crates/es-gc/src/heap.rs:
+crates/es-gc/src/stats.rs:
+crates/es-gc/src/tests.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/es_match-2e5fc9231b25a28b.d: crates/es-match/src/lib.rs crates/es-match/src/tests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libes_match-2e5fc9231b25a28b.rmeta: crates/es-match/src/lib.rs crates/es-match/src/tests.rs Cargo.toml
+
+crates/es-match/src/lib.rs:
+crates/es-match/src/tests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

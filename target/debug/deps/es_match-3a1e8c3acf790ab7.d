@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/es_match-3a1e8c3acf790ab7.d: crates/es-match/src/lib.rs
+
+/root/repo/target/debug/deps/libes_match-3a1e8c3acf790ab7.rlib: crates/es-match/src/lib.rs
+
+/root/repo/target/debug/deps/libes_match-3a1e8c3acf790ab7.rmeta: crates/es-match/src/lib.rs
+
+crates/es-match/src/lib.rs:

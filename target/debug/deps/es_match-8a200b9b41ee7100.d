@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/es_match-8a200b9b41ee7100.d: crates/es-match/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libes_match-8a200b9b41ee7100.rmeta: crates/es-match/src/lib.rs Cargo.toml
+
+crates/es-match/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/es_match-cd6ef3c73a2c85e9.d: crates/es-match/src/lib.rs crates/es-match/src/tests.rs
+
+/root/repo/target/debug/deps/es_match-cd6ef3c73a2c85e9: crates/es-match/src/lib.rs crates/es-match/src/tests.rs
+
+crates/es-match/src/lib.rs:
+crates/es-match/src/tests.rs:

@@ -1,0 +1,24 @@
+/root/repo/target/debug/deps/es_os-6b6eaa9aa330152b.d: crates/es-os/src/lib.rs crates/es-os/src/clock.rs crates/es-os/src/error.rs crates/es-os/src/fault.rs crates/es-os/src/programs/mod.rs crates/es-os/src/programs/extra.rs crates/es-os/src/programs/files.rs crates/es-os/src/programs/grep.rs crates/es-os/src/programs/misc.rs crates/es-os/src/programs/sed.rs crates/es-os/src/programs/text.rs crates/es-os/src/real.rs crates/es-os/src/sim.rs crates/es-os/src/vfs.rs crates/es-os/src/real_tests.rs crates/es-os/src/tests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libes_os-6b6eaa9aa330152b.rmeta: crates/es-os/src/lib.rs crates/es-os/src/clock.rs crates/es-os/src/error.rs crates/es-os/src/fault.rs crates/es-os/src/programs/mod.rs crates/es-os/src/programs/extra.rs crates/es-os/src/programs/files.rs crates/es-os/src/programs/grep.rs crates/es-os/src/programs/misc.rs crates/es-os/src/programs/sed.rs crates/es-os/src/programs/text.rs crates/es-os/src/real.rs crates/es-os/src/sim.rs crates/es-os/src/vfs.rs crates/es-os/src/real_tests.rs crates/es-os/src/tests.rs Cargo.toml
+
+crates/es-os/src/lib.rs:
+crates/es-os/src/clock.rs:
+crates/es-os/src/error.rs:
+crates/es-os/src/fault.rs:
+crates/es-os/src/programs/mod.rs:
+crates/es-os/src/programs/extra.rs:
+crates/es-os/src/programs/files.rs:
+crates/es-os/src/programs/grep.rs:
+crates/es-os/src/programs/misc.rs:
+crates/es-os/src/programs/sed.rs:
+crates/es-os/src/programs/text.rs:
+crates/es-os/src/real.rs:
+crates/es-os/src/sim.rs:
+crates/es-os/src/vfs.rs:
+crates/es-os/src/real_tests.rs:
+crates/es-os/src/tests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

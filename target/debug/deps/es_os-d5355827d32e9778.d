@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/es_os-d5355827d32e9778.d: crates/es-os/src/lib.rs crates/es-os/src/clock.rs crates/es-os/src/error.rs crates/es-os/src/fault.rs crates/es-os/src/programs/mod.rs crates/es-os/src/programs/extra.rs crates/es-os/src/programs/files.rs crates/es-os/src/programs/grep.rs crates/es-os/src/programs/misc.rs crates/es-os/src/programs/sed.rs crates/es-os/src/programs/text.rs crates/es-os/src/real.rs crates/es-os/src/sim.rs crates/es-os/src/vfs.rs
+
+/root/repo/target/debug/deps/libes_os-d5355827d32e9778.rlib: crates/es-os/src/lib.rs crates/es-os/src/clock.rs crates/es-os/src/error.rs crates/es-os/src/fault.rs crates/es-os/src/programs/mod.rs crates/es-os/src/programs/extra.rs crates/es-os/src/programs/files.rs crates/es-os/src/programs/grep.rs crates/es-os/src/programs/misc.rs crates/es-os/src/programs/sed.rs crates/es-os/src/programs/text.rs crates/es-os/src/real.rs crates/es-os/src/sim.rs crates/es-os/src/vfs.rs
+
+/root/repo/target/debug/deps/libes_os-d5355827d32e9778.rmeta: crates/es-os/src/lib.rs crates/es-os/src/clock.rs crates/es-os/src/error.rs crates/es-os/src/fault.rs crates/es-os/src/programs/mod.rs crates/es-os/src/programs/extra.rs crates/es-os/src/programs/files.rs crates/es-os/src/programs/grep.rs crates/es-os/src/programs/misc.rs crates/es-os/src/programs/sed.rs crates/es-os/src/programs/text.rs crates/es-os/src/real.rs crates/es-os/src/sim.rs crates/es-os/src/vfs.rs
+
+crates/es-os/src/lib.rs:
+crates/es-os/src/clock.rs:
+crates/es-os/src/error.rs:
+crates/es-os/src/fault.rs:
+crates/es-os/src/programs/mod.rs:
+crates/es-os/src/programs/extra.rs:
+crates/es-os/src/programs/files.rs:
+crates/es-os/src/programs/grep.rs:
+crates/es-os/src/programs/misc.rs:
+crates/es-os/src/programs/sed.rs:
+crates/es-os/src/programs/text.rs:
+crates/es-os/src/real.rs:
+crates/es-os/src/sim.rs:
+crates/es-os/src/vfs.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/es_regex-26db0a626bf61abf.d: crates/es-regex/src/lib.rs crates/es-regex/src/compile.rs crates/es-regex/src/parse.rs crates/es-regex/src/vm.rs crates/es-regex/src/tests.rs
+
+/root/repo/target/debug/deps/es_regex-26db0a626bf61abf: crates/es-regex/src/lib.rs crates/es-regex/src/compile.rs crates/es-regex/src/parse.rs crates/es-regex/src/vm.rs crates/es-regex/src/tests.rs
+
+crates/es-regex/src/lib.rs:
+crates/es-regex/src/compile.rs:
+crates/es-regex/src/parse.rs:
+crates/es-regex/src/vm.rs:
+crates/es-regex/src/tests.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/es_regex-9a10688e01e7f334.d: crates/es-regex/src/lib.rs crates/es-regex/src/compile.rs crates/es-regex/src/parse.rs crates/es-regex/src/vm.rs crates/es-regex/src/tests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libes_regex-9a10688e01e7f334.rmeta: crates/es-regex/src/lib.rs crates/es-regex/src/compile.rs crates/es-regex/src/parse.rs crates/es-regex/src/vm.rs crates/es-regex/src/tests.rs Cargo.toml
+
+crates/es-regex/src/lib.rs:
+crates/es-regex/src/compile.rs:
+crates/es-regex/src/parse.rs:
+crates/es-regex/src/vm.rs:
+crates/es-regex/src/tests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

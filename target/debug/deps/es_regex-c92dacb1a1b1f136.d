@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/es_regex-c92dacb1a1b1f136.d: crates/es-regex/src/lib.rs crates/es-regex/src/compile.rs crates/es-regex/src/parse.rs crates/es-regex/src/vm.rs
+
+/root/repo/target/debug/deps/libes_regex-c92dacb1a1b1f136.rlib: crates/es-regex/src/lib.rs crates/es-regex/src/compile.rs crates/es-regex/src/parse.rs crates/es-regex/src/vm.rs
+
+/root/repo/target/debug/deps/libes_regex-c92dacb1a1b1f136.rmeta: crates/es-regex/src/lib.rs crates/es-regex/src/compile.rs crates/es-regex/src/parse.rs crates/es-regex/src/vm.rs
+
+crates/es-regex/src/lib.rs:
+crates/es-regex/src/compile.rs:
+crates/es-regex/src/parse.rs:
+crates/es-regex/src/vm.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/es_repro-6b8728ab334efe07.d: src/lib.rs
+
+/root/repo/target/debug/deps/libes_repro-6b8728ab334efe07.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libes_repro-6b8728ab334efe07.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/es_repro-9342c43479e87523.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libes_repro-9342c43479e87523.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

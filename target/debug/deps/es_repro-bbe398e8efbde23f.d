@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/es_repro-bbe398e8efbde23f.d: src/lib.rs
+
+/root/repo/target/debug/deps/es_repro-bbe398e8efbde23f: src/lib.rs
+
+src/lib.rs:

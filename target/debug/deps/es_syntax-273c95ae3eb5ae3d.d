@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/es_syntax-273c95ae3eb5ae3d.d: crates/es-syntax/src/lib.rs crates/es-syntax/src/ast.rs crates/es-syntax/src/lex.rs crates/es-syntax/src/lower.rs crates/es-syntax/src/parse.rs crates/es-syntax/src/print.rs crates/es-syntax/src/tests.rs
+
+/root/repo/target/debug/deps/es_syntax-273c95ae3eb5ae3d: crates/es-syntax/src/lib.rs crates/es-syntax/src/ast.rs crates/es-syntax/src/lex.rs crates/es-syntax/src/lower.rs crates/es-syntax/src/parse.rs crates/es-syntax/src/print.rs crates/es-syntax/src/tests.rs
+
+crates/es-syntax/src/lib.rs:
+crates/es-syntax/src/ast.rs:
+crates/es-syntax/src/lex.rs:
+crates/es-syntax/src/lower.rs:
+crates/es-syntax/src/parse.rs:
+crates/es-syntax/src/print.rs:
+crates/es-syntax/src/tests.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/es_syntax-a3bdf5fc13337570.d: crates/es-syntax/src/lib.rs crates/es-syntax/src/ast.rs crates/es-syntax/src/lex.rs crates/es-syntax/src/lower.rs crates/es-syntax/src/parse.rs crates/es-syntax/src/print.rs
+
+/root/repo/target/debug/deps/libes_syntax-a3bdf5fc13337570.rlib: crates/es-syntax/src/lib.rs crates/es-syntax/src/ast.rs crates/es-syntax/src/lex.rs crates/es-syntax/src/lower.rs crates/es-syntax/src/parse.rs crates/es-syntax/src/print.rs
+
+/root/repo/target/debug/deps/libes_syntax-a3bdf5fc13337570.rmeta: crates/es-syntax/src/lib.rs crates/es-syntax/src/ast.rs crates/es-syntax/src/lex.rs crates/es-syntax/src/lower.rs crates/es-syntax/src/parse.rs crates/es-syntax/src/print.rs
+
+crates/es-syntax/src/lib.rs:
+crates/es-syntax/src/ast.rs:
+crates/es-syntax/src/lex.rs:
+crates/es-syntax/src/lower.rs:
+crates/es-syntax/src/parse.rs:
+crates/es-syntax/src/print.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/es_syntax-aadffb4bb27e3501.d: crates/es-syntax/src/lib.rs crates/es-syntax/src/ast.rs crates/es-syntax/src/lex.rs crates/es-syntax/src/lower.rs crates/es-syntax/src/parse.rs crates/es-syntax/src/print.rs crates/es-syntax/src/tests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libes_syntax-aadffb4bb27e3501.rmeta: crates/es-syntax/src/lib.rs crates/es-syntax/src/ast.rs crates/es-syntax/src/lex.rs crates/es-syntax/src/lower.rs crates/es-syntax/src/parse.rs crates/es-syntax/src/print.rs crates/es-syntax/src/tests.rs Cargo.toml
+
+crates/es-syntax/src/lib.rs:
+crates/es-syntax/src/ast.rs:
+crates/es-syntax/src/lex.rs:
+crates/es-syntax/src/lower.rs:
+crates/es-syntax/src/parse.rs:
+crates/es-syntax/src/print.rs:
+crates/es-syntax/src/tests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/es_syntax-b4405e0223192a4f.d: crates/es-syntax/src/lib.rs crates/es-syntax/src/ast.rs crates/es-syntax/src/lex.rs crates/es-syntax/src/lower.rs crates/es-syntax/src/parse.rs crates/es-syntax/src/print.rs Cargo.toml
+
+/root/repo/target/debug/deps/libes_syntax-b4405e0223192a4f.rmeta: crates/es-syntax/src/lib.rs crates/es-syntax/src/ast.rs crates/es-syntax/src/lex.rs crates/es-syntax/src/lower.rs crates/es-syntax/src/parse.rs crates/es-syntax/src/print.rs Cargo.toml
+
+crates/es-syntax/src/lib.rs:
+crates/es-syntax/src/ast.rs:
+crates/es-syntax/src/lex.rs:
+crates/es-syntax/src/lower.rs:
+crates/es-syntax/src/parse.rs:
+crates/es-syntax/src/print.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig1_pipeline-f588136010d6150d.d: crates/bench/benches/fig1_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig1_pipeline-f588136010d6150d.rmeta: crates/bench/benches/fig1_pipeline.rs Cargo.toml
+
+crates/bench/benches/fig1_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig2_pathcache-78e6e9b1fafdaf21.d: crates/bench/benches/fig2_pathcache.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig2_pathcache-78e6e9b1fafdaf21.rmeta: crates/bench/benches/fig2_pathcache.rs Cargo.toml
+
+crates/bench/benches/fig2_pathcache.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig3_repl-2843199ce240b481.d: crates/bench/benches/fig3_repl.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig3_repl-2843199ce240b481.rmeta: crates/bench/benches/fig3_repl.rs Cargo.toml
+
+crates/bench/benches/fig3_repl.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest-efdc80ad7f09fa52.d: shims/proptest/src/lib.rs shims/proptest/src/collection.rs shims/proptest/src/pattern.rs shims/proptest/src/strategy.rs shims/proptest/src/test_runner.rs
+
+/root/repo/target/debug/deps/proptest-efdc80ad7f09fa52: shims/proptest/src/lib.rs shims/proptest/src/collection.rs shims/proptest/src/pattern.rs shims/proptest/src/strategy.rs shims/proptest/src/test_runner.rs
+
+shims/proptest/src/lib.rs:
+shims/proptest/src/collection.rs:
+shims/proptest/src/pattern.rs:
+shims/proptest/src/strategy.rs:
+shims/proptest/src/test_runner.rs:

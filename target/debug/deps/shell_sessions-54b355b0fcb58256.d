@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/shell_sessions-54b355b0fcb58256.d: tests/shell_sessions.rs Cargo.toml
+
+/root/repo/target/debug/deps/libshell_sessions-54b355b0fcb58256.rmeta: tests/shell_sessions.rs Cargo.toml
+
+tests/shell_sessions.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

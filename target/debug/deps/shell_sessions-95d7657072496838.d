@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/shell_sessions-95d7657072496838.d: tests/shell_sessions.rs
+
+/root/repo/target/debug/deps/shell_sessions-95d7657072496838: tests/shell_sessions.rs
+
+tests/shell_sessions.rs:

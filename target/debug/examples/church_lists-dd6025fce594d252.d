@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/church_lists-dd6025fce594d252.d: examples/church_lists.rs
+
+/root/repo/target/debug/examples/church_lists-dd6025fce594d252: examples/church_lists.rs
+
+examples/church_lists.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/church_lists-f5c277aec550bd89.d: examples/church_lists.rs Cargo.toml
+
+/root/repo/target/debug/examples/libchurch_lists-f5c277aec550bd89.rmeta: examples/church_lists.rs Cargo.toml
+
+examples/church_lists.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/dispatch_table-0440375c444fb211.d: examples/dispatch_table.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdispatch_table-0440375c444fb211.rmeta: examples/dispatch_table.rs Cargo.toml
+
+examples/dispatch_table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dispatch_table-75f9aadc13312fd9.d: examples/dispatch_table.rs
+
+/root/repo/target/debug/examples/dispatch_table-75f9aadc13312fd9: examples/dispatch_table.rs
+
+examples/dispatch_table.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/gc_stats-72aa288abc5b5ecc.d: examples/gc_stats.rs
+
+/root/repo/target/debug/examples/gc_stats-72aa288abc5b5ecc: examples/gc_stats.rs
+
+examples/gc_stats.rs:

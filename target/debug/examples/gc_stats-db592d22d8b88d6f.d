@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/gc_stats-db592d22d8b88d6f.d: examples/gc_stats.rs Cargo.toml
+
+/root/repo/target/debug/examples/libgc_stats-db592d22d8b88d6f.rmeta: examples/gc_stats.rs Cargo.toml
+
+examples/gc_stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/interactive_loop-5b560755a46afa4c.d: examples/interactive_loop.rs Cargo.toml
+
+/root/repo/target/debug/examples/libinteractive_loop-5b560755a46afa4c.rmeta: examples/interactive_loop.rs Cargo.toml
+
+examples/interactive_loop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

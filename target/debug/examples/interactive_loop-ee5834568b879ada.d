@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/interactive_loop-ee5834568b879ada.d: examples/interactive_loop.rs
+
+/root/repo/target/debug/examples/interactive_loop-ee5834568b879ada: examples/interactive_loop.rs
+
+examples/interactive_loop.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/path_cache-7ad87f4d0508e94f.d: examples/path_cache.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpath_cache-7ad87f4d0508e94f.rmeta: examples/path_cache.rs Cargo.toml
+
+examples/path_cache.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/path_cache-c19c8ad802df95ed.d: examples/path_cache.rs
+
+/root/repo/target/debug/examples/path_cache-c19c8ad802df95ed: examples/path_cache.rs
+
+examples/path_cache.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/pipeline_profiler-07ccf4764b39b4d7.d: examples/pipeline_profiler.rs
+
+/root/repo/target/debug/examples/pipeline_profiler-07ccf4764b39b4d7: examples/pipeline_profiler.rs
+
+examples/pipeline_profiler.rs:

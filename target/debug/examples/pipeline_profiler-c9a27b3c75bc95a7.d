@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/pipeline_profiler-c9a27b3c75bc95a7.d: examples/pipeline_profiler.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpipeline_profiler-c9a27b3c75bc95a7.rmeta: examples/pipeline_profiler.rs Cargo.toml
+
+examples/pipeline_profiler.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-10e1f7e972f845cb.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-10e1f7e972f845cb: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,1 @@
+/root/repo/target/debug/libes_gc.rlib: /root/repo/crates/es-gc/src/heap.rs /root/repo/crates/es-gc/src/lib.rs /root/repo/crates/es-gc/src/stats.rs

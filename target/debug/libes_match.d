@@ -1,0 +1,1 @@
+/root/repo/target/debug/libes_match.rlib: /root/repo/crates/es-match/src/lib.rs

@@ -1,0 +1,1 @@
+/root/repo/target/debug/libes_regex.rlib: /root/repo/crates/es-regex/src/compile.rs /root/repo/crates/es-regex/src/lib.rs /root/repo/crates/es-regex/src/parse.rs /root/repo/crates/es-regex/src/vm.rs

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/e10_fault_overhead-07fad897c494f284.d: crates/bench/benches/e10_fault_overhead.rs
+
+/root/repo/target/release/deps/e10_fault_overhead-07fad897c494f284: crates/bench/benches/e10_fault_overhead.rs
+
+crates/bench/benches/e10_fault_overhead.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/es-3daecabb957ce7fd.d: crates/es-shell/src/main.rs
+
+/root/repo/target/release/deps/es-3daecabb957ce7fd: crates/es-shell/src/main.rs
+
+crates/es-shell/src/main.rs:

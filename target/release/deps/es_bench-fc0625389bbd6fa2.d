@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/es_bench-fc0625389bbd6fa2.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libes_bench-fc0625389bbd6fa2.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libes_bench-fc0625389bbd6fa2.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/es_gc-dcd88157dca90d87.d: crates/es-gc/src/lib.rs crates/es-gc/src/heap.rs crates/es-gc/src/stats.rs
+
+/root/repo/target/release/deps/libes_gc-dcd88157dca90d87.rlib: crates/es-gc/src/lib.rs crates/es-gc/src/heap.rs crates/es-gc/src/stats.rs
+
+/root/repo/target/release/deps/libes_gc-dcd88157dca90d87.rmeta: crates/es-gc/src/lib.rs crates/es-gc/src/heap.rs crates/es-gc/src/stats.rs
+
+crates/es-gc/src/lib.rs:
+crates/es-gc/src/heap.rs:
+crates/es-gc/src/stats.rs:

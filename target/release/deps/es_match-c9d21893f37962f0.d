@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/es_match-c9d21893f37962f0.d: crates/es-match/src/lib.rs
+
+/root/repo/target/release/deps/libes_match-c9d21893f37962f0.rlib: crates/es-match/src/lib.rs
+
+/root/repo/target/release/deps/libes_match-c9d21893f37962f0.rmeta: crates/es-match/src/lib.rs
+
+crates/es-match/src/lib.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/release/deps/es_os-8e3d33ce1796eb48.d: crates/es-os/src/lib.rs crates/es-os/src/clock.rs crates/es-os/src/error.rs crates/es-os/src/fault.rs crates/es-os/src/programs/mod.rs crates/es-os/src/programs/extra.rs crates/es-os/src/programs/files.rs crates/es-os/src/programs/grep.rs crates/es-os/src/programs/misc.rs crates/es-os/src/programs/sed.rs crates/es-os/src/programs/text.rs crates/es-os/src/real.rs crates/es-os/src/sim.rs crates/es-os/src/vfs.rs
+
+/root/repo/target/release/deps/libes_os-8e3d33ce1796eb48.rlib: crates/es-os/src/lib.rs crates/es-os/src/clock.rs crates/es-os/src/error.rs crates/es-os/src/fault.rs crates/es-os/src/programs/mod.rs crates/es-os/src/programs/extra.rs crates/es-os/src/programs/files.rs crates/es-os/src/programs/grep.rs crates/es-os/src/programs/misc.rs crates/es-os/src/programs/sed.rs crates/es-os/src/programs/text.rs crates/es-os/src/real.rs crates/es-os/src/sim.rs crates/es-os/src/vfs.rs
+
+/root/repo/target/release/deps/libes_os-8e3d33ce1796eb48.rmeta: crates/es-os/src/lib.rs crates/es-os/src/clock.rs crates/es-os/src/error.rs crates/es-os/src/fault.rs crates/es-os/src/programs/mod.rs crates/es-os/src/programs/extra.rs crates/es-os/src/programs/files.rs crates/es-os/src/programs/grep.rs crates/es-os/src/programs/misc.rs crates/es-os/src/programs/sed.rs crates/es-os/src/programs/text.rs crates/es-os/src/real.rs crates/es-os/src/sim.rs crates/es-os/src/vfs.rs
+
+crates/es-os/src/lib.rs:
+crates/es-os/src/clock.rs:
+crates/es-os/src/error.rs:
+crates/es-os/src/fault.rs:
+crates/es-os/src/programs/mod.rs:
+crates/es-os/src/programs/extra.rs:
+crates/es-os/src/programs/files.rs:
+crates/es-os/src/programs/grep.rs:
+crates/es-os/src/programs/misc.rs:
+crates/es-os/src/programs/sed.rs:
+crates/es-os/src/programs/text.rs:
+crates/es-os/src/real.rs:
+crates/es-os/src/sim.rs:
+crates/es-os/src/vfs.rs:

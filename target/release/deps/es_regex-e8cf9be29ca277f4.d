@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/es_regex-e8cf9be29ca277f4.d: crates/es-regex/src/lib.rs crates/es-regex/src/compile.rs crates/es-regex/src/parse.rs crates/es-regex/src/vm.rs
+
+/root/repo/target/release/deps/libes_regex-e8cf9be29ca277f4.rlib: crates/es-regex/src/lib.rs crates/es-regex/src/compile.rs crates/es-regex/src/parse.rs crates/es-regex/src/vm.rs
+
+/root/repo/target/release/deps/libes_regex-e8cf9be29ca277f4.rmeta: crates/es-regex/src/lib.rs crates/es-regex/src/compile.rs crates/es-regex/src/parse.rs crates/es-regex/src/vm.rs
+
+crates/es-regex/src/lib.rs:
+crates/es-regex/src/compile.rs:
+crates/es-regex/src/parse.rs:
+crates/es-regex/src/vm.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/es_repro-0d7ee64dea0bb970.d: src/lib.rs
+
+/root/repo/target/release/deps/libes_repro-0d7ee64dea0bb970.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libes_repro-0d7ee64dea0bb970.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/es_syntax-9ff6c9d79596bbec.d: crates/es-syntax/src/lib.rs crates/es-syntax/src/ast.rs crates/es-syntax/src/lex.rs crates/es-syntax/src/lower.rs crates/es-syntax/src/parse.rs crates/es-syntax/src/print.rs
+
+/root/repo/target/release/deps/libes_syntax-9ff6c9d79596bbec.rlib: crates/es-syntax/src/lib.rs crates/es-syntax/src/ast.rs crates/es-syntax/src/lex.rs crates/es-syntax/src/lower.rs crates/es-syntax/src/parse.rs crates/es-syntax/src/print.rs
+
+/root/repo/target/release/deps/libes_syntax-9ff6c9d79596bbec.rmeta: crates/es-syntax/src/lib.rs crates/es-syntax/src/ast.rs crates/es-syntax/src/lex.rs crates/es-syntax/src/lower.rs crates/es-syntax/src/parse.rs crates/es-syntax/src/print.rs
+
+crates/es-syntax/src/lib.rs:
+crates/es-syntax/src/ast.rs:
+crates/es-syntax/src/lex.rs:
+crates/es-syntax/src/lower.rs:
+crates/es-syntax/src/parse.rs:
+crates/es-syntax/src/print.rs:
