@@ -1,9 +1,9 @@
 # Convenience targets for the es reproduction. `just` is not installed
 # in the build image, so plain make it is.
 
-.PHONY: all build test soak lint bench clean
+.PHONY: all build test soak soak-limits lint bench clean
 
-all: build test
+all: build test lint
 
 build:
 	cargo build --release
@@ -18,6 +18,13 @@ test:
 soak:
 	cargo test -p es-core -q soak_fault_plans -- --nocapture
 	cargo bench -p es-bench --bench e10_fault_overhead
+
+# E11 — governor soak: the same 256 seeds with a tight step budget and
+# an active fault plan armed together (limit breaches, injected faults,
+# and catch handlers interleaving), plus the zero-limits overhead bench.
+soak-limits:
+	cargo test -p es-core -q soak_limits -- --nocapture
+	cargo bench -p es-bench --bench e11_governor
 
 # The whole workspace must be clippy-clean.
 lint:

@@ -21,7 +21,7 @@ use crate::prims;
 use crate::value::{self, ListBuilder};
 use es_gc::{Obj, Ref, RootSlot};
 use es_match::Pattern;
-use es_os::{Os, Signal};
+use es_os::Os;
 use es_syntax::ast::{Expr, Node, Word};
 
 /// Evaluation outcome: a value, or a pending tail call (stored in the
@@ -55,7 +55,7 @@ pub fn eval_node<O: Os + Clone>(
 ) -> EsResult<Flow> {
     match node {
         Node::Call(exprs) => {
-            poll_signal(m)?;
+            crate::governor::charge(m)?;
             let base = m.heap.roots_len();
             let list = eval_exprs(m, exprs, env, true)?;
             let flow = apply_slot(m, list, env, tail)?;
@@ -130,7 +130,7 @@ pub fn eval_node<O: Os + Clone>(
                 .unwrap_or(0);
             let result_slot = m.heap.push_root(Ref::NIL);
             for i in 1..=n {
-                poll_signal(m)?;
+                crate::governor::charge(m)?;
                 let iter_base = m.heap.roots_len();
                 let chain = m.heap.push_root(m.heap.root(env));
                 for (name, slot) in &lists {
@@ -238,16 +238,6 @@ pub fn throw_is<O: Os + Clone>(m: &Machine<O>, e: Ref, name: &str) -> bool {
         return false;
     }
     matches!(m.heap.get(m.heap.pair_head(e)), Obj::Str(s) if &**s == name)
-}
-
-fn poll_signal<O: Os + Clone>(m: &mut Machine<O>) -> EsResult<()> {
-    if let Some(sig) = m.os_mut().take_signal() {
-        if sig == Signal::Kill {
-            return Err(EsError::Exit(1));
-        }
-        return Err(m.exception(&["signal", sig.name()]));
-    }
-    Ok(())
 }
 
 /// Evaluates a name expression that must denote exactly one name.
@@ -731,9 +721,15 @@ pub fn apply_closure<O: Os + Clone>(
 ) -> EsResult<Flow> {
     m.depth += 1;
     m.max_depth_seen = m.max_depth_seen.max(m.depth);
-    if m.depth > m.opts.max_depth {
-        m.depth -= 1;
-        return Err(m.error("maximum recursion depth exceeded"));
+    if let Some(max) = m.governor().limits().depth {
+        let used = m.depth as u64;
+        if used > max {
+            // Unwinding pops frames, so depth falls back under the
+            // limit by itself; the guard stays armed for next time.
+            m.depth -= 1;
+            return Err(crate::governor::breach(m, crate::governor::Kind::Depth, used, max));
+        }
+        crate::governor::soft_warn(m, crate::governor::Kind::Depth, used, max);
     }
     let result = apply_closure_inner(m, clo_slot, args_slot, catch_return, name);
     m.depth -= 1;

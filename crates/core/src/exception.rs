@@ -6,6 +6,13 @@
 //! signals are all spelled as exceptions (paper, section
 //! "Exceptions"), so this type is the interpreter's only non-value
 //! control path. `Exit` is separate because nothing may catch it.
+//!
+//! The resource governor (see [`crate::governor`]) adds one more
+//! interpreter-raised family: `limit <kind> <used> <max>`, thrown when
+//! an armed resource limit is breached. It is ordinary and catchable —
+//! `catch @ e kind used max {...} {%limit steps 1000 {cmd}}` sandboxes
+//! a computation. The virtual-time deadline is the exception: it
+//! arrives as `signal sigalrm`, riding the same path as real signals.
 
 use es_gc::Ref;
 

@@ -53,6 +53,15 @@ fn-primitives = $&primitives
 fn-collect = $&collect
 fn-gcstats = $&gcstats
 
+# --- resource governor -----------------------------------------------------
+# %limit kind n       arms a limit permanently;
+# %limit kind n {cmd} sandboxes cmd under the tightened limit.
+# A breach raises the catchable exception `limit kind used max`
+# (the time limit delivers `signal sigalrm` instead — a watchdog).
+fn-%limit = $&limit
+fn-limits = $&limits
+fn limit { %limit $* }
+
 fn cd { %cd $* }
 
 # --- prompts --------------------------------------------------------------

@@ -43,6 +43,7 @@
 mod env;
 mod eval;
 mod exception;
+pub mod governor;
 mod machine;
 mod prims;
 mod value;

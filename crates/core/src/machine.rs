@@ -3,6 +3,7 @@
 use crate::env;
 use crate::eval;
 use crate::exception::{EsError, EsResult};
+use crate::governor::{Governor, Kind, Limits};
 use crate::value::{self, Term};
 use es_gc::{PermSlot, Ref, RootSlot};
 use es_os::{Desc, Os};
@@ -21,8 +22,13 @@ pub struct Options {
     /// evaluator recurses on tail calls like the 1993 implementation,
     /// which experiment E6 measures.
     pub tail_calls: bool,
-    /// Maximum non-tail application depth before an `error` exception.
-    pub max_depth: usize,
+    /// Resource limits the machine boots with. The default arms only
+    /// the recursion-depth guard at 150 — deep enough for real shell
+    /// programs, shallow enough that the guard fires before the Rust
+    /// stack runs out even on a 2 MiB test thread in debug builds.
+    /// Raise it (with a bigger thread stack) for deliberately deep
+    /// non-tail recursion.
+    pub limits: Limits,
     /// Reported by `$&isinteractive`.
     pub interactive: bool,
 }
@@ -31,12 +37,7 @@ impl Default for Options {
     fn default() -> Self {
         Options {
             tail_calls: true,
-            // Conservative: deep enough for real shell programs, and
-            // shallow enough that the guard fires before the Rust
-            // stack runs out even on a 2 MiB test thread in debug
-            // builds. Raise it (with a bigger thread stack) for
-            // deliberately deep non-tail recursion.
-            max_depth: 150,
+            limits: Limits::default_interpreter(),
             interactive: false,
         }
     }
@@ -73,6 +74,8 @@ pub struct Machine<O: Os + Clone> {
     /// Deepest application nesting seen (E6 measures this).
     pub max_depth_seen: usize,
     bg_pid: i32,
+    /// Resource accounting and armed limits (see [`crate::governor`]).
+    governor: Governor,
 }
 
 impl<O: Os + Clone> Clone for Machine<O> {
@@ -88,6 +91,7 @@ impl<O: Os + Clone> Clone for Machine<O> {
             depth: self.depth,
             max_depth_seen: self.max_depth_seen,
             bg_pid: self.bg_pid,
+            governor: self.governor.clone(),
         }
     }
 }
@@ -102,6 +106,7 @@ impl<O: Os + Clone> Machine<O> {
 
     /// Boots with explicit [`Options`].
     pub fn with_options(os: O, opts: Options) -> EsResult<Machine<O>> {
+        let governor = Governor::new(opts.limits);
         let mut m = Machine {
             heap: Heap::new(),
             opts,
@@ -113,6 +118,7 @@ impl<O: Os + Clone> Machine<O> {
             depth: 0,
             max_depth_seen: 0,
             bg_pid: 9000,
+            governor,
         };
         m.fds.insert(0, es_os::STDIN);
         m.fds.insert(1, es_os::STDOUT);
@@ -163,6 +169,30 @@ impl<O: Os + Clone> Machine<O> {
     /// The kernel backend.
     pub fn os(&self) -> &O {
         &self.os
+    }
+
+    /// The resource governor.
+    pub fn governor(&self) -> &Governor {
+        &self.governor
+    }
+
+    /// The resource governor (mutable).
+    pub fn governor_mut(&mut self) -> &mut Governor {
+        &mut self.governor
+    }
+
+    /// Arms a limit from a `kind=value` style pair (the CLI's
+    /// `--limit` flag). This is a raw set — it may raise an existing
+    /// limit, unlike the scoped `%limit` form which only tightens.
+    pub fn arm_limit(&mut self, kind: &str, value: u64) -> Result<(), String> {
+        let k = Kind::parse(kind).ok_or_else(|| {
+            format!(
+                "unknown limit kind '{kind}' (expected one of depth, steps, heap, fds, output, time)"
+            )
+        })?;
+        let abs = crate::governor::resolve(self, k, value);
+        self.governor.set(k, Some(abs));
+        Ok(())
     }
 
     // ----- running code --------------------------------------------------------
@@ -383,13 +413,20 @@ impl<O: Os + Clone> Machine<O> {
     /// writes and retrying interrupted ones (bounded). On failure the
     /// error reports how many bytes made it out first.
     pub fn write_fd(&mut self, fd: u32, data: &[u8]) -> Result<usize, es_os::WriteError> {
-        match self.fd(fd) {
+        let result = match self.fd(fd) {
             Some(d) => es_os::write_fully(&mut self.os, d, data),
             None => Err(es_os::WriteError {
                 written: 0,
                 cause: es_os::OsError::BadF,
             }),
+        };
+        // Bytes that made it out count against the output quota even
+        // when the write ultimately failed partway.
+        match &result {
+            Ok(n) => self.governor.note_output(*n),
+            Err(e) => self.governor.note_output(e.written),
         }
+        result
     }
 
     /// Closes a kernel descriptor, retrying interrupted closes so an

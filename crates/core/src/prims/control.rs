@@ -78,6 +78,10 @@ pub fn while_prim<O: Os + Clone>(
 ) -> EsResult<Flow> {
     let result = m.heap.push_root(Ref::NIL);
     loop {
+        // Loops whose condition and body never dispatch a command
+        // (e.g. `while {} {}`) would otherwise starve the signal poll
+        // and the governor.
+        crate::governor::charge(m)?;
         let base = m.heap.roots_len();
         let cond = match arg_slot(m, args, 1) {
             Some(c) => c,
@@ -123,6 +127,7 @@ pub fn forever<O: Os + Clone>(
     env: RootSlot,
 ) -> EsResult<Flow> {
     loop {
+        crate::governor::charge(m)?;
         let base = m.heap.roots_len();
         let body = match arg_slot(m, args, 1) {
             Some(b) => b,

@@ -8,7 +8,7 @@
 
 use super::{apply_thunk, arg_slot};
 use crate::eval::{must_value, Flow};
-use crate::exception::EsResult;
+use crate::exception::{EsError, EsResult};
 use crate::machine::Machine;
 use crate::value::{self, Term};
 use es_gc::{Ref, RootSlot};
@@ -240,13 +240,32 @@ pub fn backquote<O: Os + Clone>(
         }
     };
     let s_slot = m.heap.push_root(status);
-    let output = es_os::read_all(m.os_mut(), r);
+    // Chunked, interruptible drain of the pipe: a ^C that arrives
+    // mid-read must deliver its `signal` exception promptly instead of
+    // waiting for end-of-file — and must not leak the read end.
+    let output = (|| -> Result<Vec<u8>, EsError> {
+        let mut out = Vec::new();
+        let mut buf = [0u8; 4096];
+        loop {
+            if let Some(sig) = m.os_mut().take_signal() {
+                return Err(crate::governor::signal_error(m, sig));
+            }
+            match es_os::retry_intr(|| m.os_mut().read(r, &mut buf)) {
+                Ok(0) => return Ok(out),
+                Ok(n) => out.extend_from_slice(&buf[..n]),
+                Err(e) => {
+                    let msg = format!("backquote: {e}");
+                    return Err(m.error(&msg));
+                }
+            }
+        }
+    })();
     m.close_desc(r);
     let output = match output {
         Ok(bytes) => bytes,
         Err(e) => {
             m.heap.truncate_roots(s_slot.index());
-            return Err(m.error(&format!("backquote: {e}")));
+            return Err(e);
         }
     };
     let text = String::from_utf8_lossy(&output).into_owned();

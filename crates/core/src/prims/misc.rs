@@ -354,6 +354,7 @@ pub fn gcstats<O: Os + Clone>(m: &mut Machine<O>) -> EsResult<Flow> {
         ("allocated", s.allocated.to_string()),
         ("copied", s.copied.to_string()),
         ("live", s.live_after_last.to_string()),
+        ("budget-collections", s.budget_collections.to_string()),
         ("pause-ns", s.pause_total.as_nanos().to_string()),
         ("pause-max-ns", s.pause_max.as_nanos().to_string()),
     ];

@@ -10,6 +10,7 @@
 //! bodies exits the enclosing function, as users expect.
 
 mod control;
+mod governor;
 mod io;
 mod misc;
 
@@ -24,9 +25,9 @@ use es_os::Os;
 pub const NAMES: &[&str] = &[
     "and", "append", "background", "backquote", "break", "catch", "cd", "close", "collect",
     "create", "dot", "dup", "echo", "eval", "exit", "false", "flatten", "forever", "fork",
-    "fsplit", "gcstats", "here", "if", "isinteractive", "not", "open", "or", "parse",
-    "pathsearch", "pipe", "primitives", "result", "return", "seq", "split", "throw", "time",
-    "true", "vars", "version", "wait", "whatis", "while",
+    "fsplit", "gcstats", "here", "if", "isinteractive", "limit", "limits", "not", "open", "or",
+    "parse", "pathsearch", "pipe", "primitives", "result", "return", "seq", "split", "throw",
+    "time", "true", "vars", "version", "wait", "whatis", "while",
 ];
 
 /// Dispatches a primitive by name. `args` is the rooted argument list
@@ -102,6 +103,9 @@ pub fn call<O: Os + Clone>(
             };
             Ok(Flow::Val(v))
         }
+        // Resource governor.
+        "limit" => governor::limit_prim(m, args, env),
+        "limits" => governor::limits_prim(m),
         // GC services (reproduction extras for experiment E4).
         "collect" => {
             m.heap.collect();

@@ -1,6 +1,7 @@
 //! Interpreter tests: every example in the paper, plus semantics
 //! corners.
 
+use crate::governor::Limits;
 use crate::machine::{Machine, Options};
 use es_os::{Os, SimOs};
 
@@ -809,7 +810,10 @@ fn naive_mode_grows_depth() {
         os,
         Options {
             tail_calls: false,
-            max_depth: 64,
+            limits: Limits {
+                depth: Some(64),
+                ..Limits::default()
+            },
             interactive: false,
         },
     )
@@ -826,10 +830,11 @@ fn naive_mode_grows_depth() {
     // And deep recursion exhausts the stack, as the paper laments.
     m.run("fn deep n { if {~ $#n 400} {result done} {deep $n $n(1)} }")
         .unwrap();
-    // (the interpreter's depth guard converts the would-be crash into
-    // an error exception well before the real stack runs out)
+    // (the governor's depth limit converts the would-be crash into a
+    // catchable `limit depth` exception well before the real stack
+    // runs out)
     let err = m.run("deep seed").unwrap_err();
-    assert!(err.contains("recursion"), "{err}");
+    assert!(err.contains("limit depth"), "{err}");
 }
 
 // --------------------------------------------------------------------------
@@ -1185,4 +1190,204 @@ fn stdlib_functions_compose() {
         "result <>{fold @ a x {result $a$x} '' <>{map @ x {result '<'$x'>'} <>{filter @ x {!~ $x b} a b c}}}",
     );
     assert_eq!(v, vec!["<a><c>"]);
+}
+
+// --------------------------------------------------------------------------
+// The resource governor: catchable limits, the watchdog deadline, and
+// prompt interrupt delivery (ISSUE 4).
+// --------------------------------------------------------------------------
+
+/// The issue's acceptance scenario: a runaway `forever` under a step
+/// budget terminates with a catchable `limit` exception, leaks no
+/// descriptors, and moves the virtual clock (every eval step charges
+/// time, so even pure-CPU loops are visible to the deadline watchdog).
+#[test]
+fn limit_steps_breach_is_catchable_no_fd_leak_time_advances() {
+    let mut m = machine();
+    let baseline = m.os().open_desc_count();
+    let t0 = m.os().now_ns();
+    assert_eq!(
+        output(
+            &mut m,
+            "catch @ e kind used max {echo caught $e $kind} \
+             {%limit steps 1000 {forever {true}}}"
+        ),
+        "caught limit steps\n"
+    );
+    assert_eq!(m.os().open_desc_count(), baseline, "breach leaked a descriptor");
+    assert!(m.os().now_ns() > t0, "virtual time did not advance");
+}
+
+/// The two-argument form arms a limit permanently; the three-argument
+/// form only tightens for the body and restores on every exit path.
+#[test]
+fn scoped_limit_restores_outer_limits() {
+    let mut m = machine();
+    m.run("%limit steps 5000000").unwrap();
+    let outer = m.governor().limits().steps;
+    assert!(outer.is_some());
+    // Value path restores.
+    assert_eq!(val(&mut m, "result <>{%limit steps 100000 {result ok}}"), vec!["ok"]);
+    assert_eq!(m.governor().limits().steps, outer);
+    // Exception path restores too.
+    let _ = val(
+        &mut m,
+        "catch @ e {result $e} {%limit steps 50 {forever {true}}}",
+    );
+    assert_eq!(m.governor().limits().steps, outer);
+}
+
+/// A sandbox cannot loosen an enclosing budget: the scoped form takes
+/// the minimum of the inner and outer limits.
+#[test]
+fn scoped_limit_only_tightens() {
+    let mut m = machine();
+    assert_eq!(
+        val(
+            &mut m,
+            "catch @ e kind used max {result $e $kind} \
+             {%limit steps 200 {%limit steps 999999999 {forever {true}}}}"
+        ),
+        vec!["limit", "steps"]
+    );
+}
+
+/// Deep non-tail recursion trips the depth limit (the old hard
+/// `max_depth` error, now an ordinary catchable exception), and the
+/// guard stays armed afterwards.
+#[test]
+fn limit_depth_breach_is_catchable_and_rearms() {
+    let mut m = machine();
+    m.run("fn f { f; result x }").unwrap();
+    for _ in 0..2 {
+        assert_eq!(
+            val(&mut m, "catch @ e kind used max {result $e $kind} {f}"),
+            vec!["limit", "depth"]
+        );
+    }
+}
+
+/// The output quota counts every byte the shell writes.
+#[test]
+fn limit_output_quota_trips() {
+    let mut m = machine();
+    assert_eq!(
+        val(
+            &mut m,
+            "catch @ e kind used max {result $e $kind} \
+             {%limit output 200 {forever {echo 0123456789}}}"
+        ),
+        vec!["limit", "output"]
+    );
+}
+
+/// The fd budget sees descriptors opened by redirections; the guard
+/// fires while they are held and the scope machinery still closes them.
+#[test]
+fn limit_fds_budget_trips_without_leak() {
+    let mut m = machine();
+    let baseline = m.os().open_desc_count();
+    let src = format!(
+        "catch @ e kind used max {{result $e $kind}} \
+         {{{{%limit fds {baseline} {{forever {{true}}}}}} > /tmp/fdlimit}}"
+    );
+    assert_eq!(val(&mut m, &src), vec!["limit", "fds"]);
+    assert_eq!(m.os().open_desc_count(), baseline);
+}
+
+/// The heap budget forces a collection first, so only genuinely live
+/// objects can breach it; a loop that retains everything does.
+#[test]
+fn limit_heap_budget_trips_on_live_growth() {
+    let mut m = machine();
+    let budget = m.heap.len() as u64 + 2000;
+    let src = format!(
+        "catch @ e kind used max {{result $e $kind}} \
+         {{%limit heap {budget} {{forever {{x = $x yyyyyyyy}}}}}}"
+    );
+    assert_eq!(val(&mut m, &src), vec!["limit", "heap"]);
+    assert!(m.heap.stats().budget_collections > 0);
+}
+
+/// The virtual-time deadline is a watchdog: it rides the signal path
+/// as `signal sigalrm` rather than the `limit` family.
+#[test]
+fn limit_time_deadline_delivers_sigalrm() {
+    let mut m = machine();
+    assert_eq!(
+        val(
+            &mut m,
+            "catch @ e sig {result $e $sig} {%limit time 5 {forever {true}}}"
+        ),
+        vec!["signal", "sigalrm"]
+    );
+}
+
+/// Crossing 90% of a budget warns once on stderr; the breach itself
+/// does not repeat the warning.
+#[test]
+fn limit_soft_warning_once_on_stderr() {
+    let mut m = machine();
+    let _ = val(
+        &mut m,
+        "catch @ e {result $e} {%limit steps 2000 {forever {true}}}",
+    );
+    let err = m.os_mut().take_error();
+    assert_eq!(
+        err.matches("es: warning: steps limit").count(),
+        1,
+        "expected exactly one soft warning, stderr was: {err:?}"
+    );
+}
+
+/// `limits` reports one `(kind used max)` row per limit kind.
+#[test]
+fn limits_prim_reports_all_kinds() {
+    let mut m = machine();
+    let rows = val(&mut m, "result <>{limits}");
+    assert_eq!(rows.len(), 18, "six kinds, three columns: {rows:?}");
+    assert!(rows.contains(&"depth".to_string()));
+    assert_eq!(rows[2], "150", "default depth limit");
+    assert!(rows.contains(&"unlimited".to_string()));
+}
+
+/// `Machine::arm_limit` (the `--limit KIND=N` backend) accepts every
+/// kind, rejects junk, and may raise limits (unlike the scoped form).
+#[test]
+fn arm_limit_parses_kinds_and_can_raise() {
+    let mut m = machine();
+    for kind in ["depth", "steps", "heap", "fds", "output", "time"] {
+        assert!(m.arm_limit(kind, 100_000).is_ok(), "{kind}");
+    }
+    assert!(m.arm_limit("bogus", 1).is_err());
+    m.arm_limit("depth", 500).unwrap();
+    assert_eq!(m.governor().limits().depth, Some(500));
+}
+
+/// A signal scheduled on the virtual clock interrupts `while {true} {}`
+/// promptly — the loop body never dispatches a command, so the loop
+/// itself must poll (the old starvation bug).
+#[test]
+fn scheduled_signal_interrupts_empty_while_loop() {
+    let mut m = machine();
+    let baseline = m.os().open_desc_count();
+    let at = m.os().now_ns() + 1_000_000;
+    m.os_mut().schedule_signal(at, es_os::Signal::Int);
+    let err = m.run("while {true} {}").unwrap_err();
+    assert_eq!(err, "signal sigint");
+    assert_eq!(m.os().open_desc_count(), baseline);
+}
+
+/// A signal that becomes deliverable while backquote is draining its
+/// pipe (here: after `sleep` pushes the clock past the schedule) is
+/// delivered from the read loop, and the read end does not leak.
+#[test]
+fn backquote_drain_interrupted_by_scheduled_signal() {
+    let mut m = machine();
+    let baseline = m.os().open_desc_count();
+    let at = m.os().now_ns() + 500_000_000;
+    m.os_mut().schedule_signal(at, es_os::Signal::Int);
+    let err = m.run("x = `{sleep 1}").unwrap_err();
+    assert_eq!(err, "signal sigint");
+    assert_eq!(m.os().open_desc_count(), baseline, "backquote leaked its read end");
 }

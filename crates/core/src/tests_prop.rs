@@ -300,3 +300,81 @@ fn soak_fault_plans_no_panic_no_leak_deterministic_replay() {
         "the soak should see plenty of weather, saw {injected_total} injections"
     );
 }
+
+// --------------------------------------------------------------------------
+// Governor soak (ISSUE 4): seeded fault plans *and* a tight step
+// budget at the same time. Limit breaches, injected syscall faults,
+// and caught exceptions all interleave; the invariants are the same
+// as the E10 soak — no panic, no descriptor leak, byte-identical
+// replay — plus the budget actually firing often enough to matter.
+// --------------------------------------------------------------------------
+
+/// A session built to trip budgets: runaway loops under catch, deep
+/// recursion, output floods, and ordinary I/O for the fault plan to
+/// chew on. Every command re-arms a fresh step budget (a breach
+/// disarms the tripped kind so the handler itself can run).
+const LIMIT_SOAK_SESSION: &[&str] = &[
+    "cd /tmp",
+    "catch @ e kind used max {echo caught $e $kind} {forever {echo spin > spin.txt}}",
+    "fn f { f; result x }",
+    "catch @ e kind used max {echo caught $e $kind} {f}",
+    "catch @ e kind used max {echo caught $e $kind} {forever {x = $x pad}}",
+    "echo alpha > soak.txt",
+    "catch @ e {echo caught $e} {cat soak.txt | tr a-z A-Z}",
+    "catch @ e {echo caught $e} {y = `{cat soak.txt}; echo $#y}",
+    "catch @ e {echo caught $e} {while {true} {}}",
+    "rm -f soak.txt spin.txt",
+];
+
+/// One governed soak run for a seed: a fault plan (as in E10) plus a
+/// step budget that varies with the seed, tight enough that the loop
+/// commands always breach it.
+fn limit_soak_run(seed: u64) -> (Vec<String>, String, String, Vec<String>, usize, usize) {
+    let mut m = machine();
+    let baseline = m.os().open_desc_count();
+    m.os_mut()
+        .set_fault_plan(Some(es_os::FaultPlan::new(seed).uniform_rate(150)));
+    let budget = 400 + (seed % 7) * 100;
+    let mut outcomes = Vec::with_capacity(LIMIT_SOAK_SESSION.len());
+    for cmd in LIMIT_SOAK_SESSION {
+        m.arm_limit("steps", budget).expect("steps is a limit kind");
+        match m.run(cmd) {
+            Ok(v) => outcomes.push(format!("ok: {}", v.join(" "))),
+            Err(e) => outcomes.push(format!("err: {e}")),
+        }
+    }
+    let out = m.os_mut().take_output();
+    let err = m.os_mut().take_error();
+    let log: Vec<String> = m
+        .os_mut()
+        .take_fault_log()
+        .iter()
+        .map(|e| e.to_string())
+        .collect();
+    let open = m.os().open_desc_count();
+    (outcomes, out, err, log, baseline, open)
+}
+
+#[test]
+fn soak_limits_no_panic_no_leak_deterministic_replay() {
+    let mut breaches = 0usize;
+    for seed in 0..256u64 {
+        let (outcomes, out, err, log, baseline, open) = limit_soak_run(seed);
+        assert_eq!(
+            open, baseline,
+            "seed {seed} leaked descriptors (fault log: {log:?})"
+        );
+        breaches += outcomes.iter().filter(|o| o.contains("limit")).count()
+            + out.matches("caught limit").count();
+        // Byte-identical replay from the same seed.
+        let (outcomes2, out2, err2, log2, _, _) = limit_soak_run(seed);
+        assert_eq!(outcomes, outcomes2, "seed {seed} outcomes diverge on replay");
+        assert_eq!(out, out2, "seed {seed} stdout diverges on replay");
+        assert_eq!(err, err2, "seed {seed} stderr diverges on replay");
+        assert_eq!(log, log2, "seed {seed} fault log diverges on replay");
+    }
+    assert!(
+        breaches > 256,
+        "the step budget should trip constantly, saw {breaches} breaches"
+    );
+}

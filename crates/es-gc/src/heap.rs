@@ -592,6 +592,25 @@ impl<C> Heap<C> {
             self.stats.pause_max = pause;
         }
     }
+
+    /// Checks the space against a governor budget of `max` objects.
+    ///
+    /// Garbage must not count against a limit, so if the raw count
+    /// exceeds `max` this collects first and re-measures; only when
+    /// *live* objects still exceed the budget is `Some(live)` returned
+    /// for the caller to raise a `limit heap` exception. Returns `None`
+    /// (no breach) while the collector is disabled — callers hold
+    /// unrooted refs then, and a forced collection would invalidate
+    /// them.
+    pub fn enforce_budget(&mut self, max: u64) -> Option<u64> {
+        if self.space.len() as u64 <= max || self.disabled > 0 {
+            return None;
+        }
+        self.collect();
+        self.stats.budget_collections += 1;
+        let live = self.space.len() as u64;
+        (live > max).then_some(live)
+    }
 }
 
 /// Copies one object from `from` to `to`, leaving a forwarding entry,

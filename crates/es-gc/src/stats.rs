@@ -28,6 +28,10 @@ pub struct GcStats {
     /// Collections that had to be redone with a larger space because
     /// the triggering request still could not be satisfied.
     pub grows: u64,
+    /// Collections forced by [`crate::Heap::enforce_budget`] — the
+    /// resource governor collects before declaring a heap limit
+    /// breached, so only *live* objects count against the budget.
+    pub budget_collections: u64,
     /// Wall-clock time spent inside the collector.
     pub pause_total: Duration,
     /// Longest single collection pause.

@@ -84,6 +84,8 @@ pub enum Signal {
     Quit,
     /// Uncatchable kill; the shell exits.
     Kill,
+    /// Alarm clock; the governor's virtual-time watchdog delivers this.
+    Alrm,
 }
 
 impl Signal {
@@ -95,17 +97,26 @@ impl Signal {
             Signal::Hup => "sighup",
             Signal::Quit => "sigquit",
             Signal::Kill => "sigkill",
+            Signal::Alrm => "sigalrm",
         }
     }
 
-    /// Parses `-9` / `-KILL` / `-sigint` style designators.
+    /// Parses `-9` / `-KILL` / `-sigint` / `SIGINT` style designators.
+    /// Matching is case-insensitive; an empty designator (or a bare
+    /// run of dashes) is rejected rather than falling through the
+    /// alias table.
     pub fn parse(s: &str) -> Option<Signal> {
-        match s.trim_start_matches('-').to_ascii_lowercase().as_str() {
+        let body = s.trim_start_matches('-');
+        if body.is_empty() {
+            return None;
+        }
+        match body.to_ascii_lowercase().as_str() {
             "2" | "int" | "sigint" => Some(Signal::Int),
             "15" | "term" | "sigterm" => Some(Signal::Term),
             "1" | "hup" | "sighup" => Some(Signal::Hup),
             "3" | "quit" | "sigquit" => Some(Signal::Quit),
             "9" | "kill" | "sigkill" => Some(Signal::Kill),
+            "14" | "alrm" | "sigalrm" => Some(Signal::Alrm),
             _ => None,
         }
     }
@@ -155,6 +166,14 @@ pub trait Os {
     fn is_executable(&self, path: &str) -> bool;
     /// Virtual (or real) nanoseconds since the backend's epoch.
     fn now_ns(&self) -> u64;
+    /// Advances the clock by `ns`. The simulator moves its virtual
+    /// clock (the interpreter charges a little time per eval step so
+    /// deadlines fire even in pure-CPU loops); a real kernel's clock
+    /// advances by itself, so the default is a no-op.
+    fn advance_ns(&mut self, _ns: u64) {}
+    /// How many descriptors are currently open in this kernel's
+    /// descriptor table (the governor's fd budget checks this).
+    fn open_desc_count(&self) -> usize;
     /// Cumulative rusage of all children so far (`time` diffs this).
     fn children_rusage(&self) -> Rusage;
     /// Takes one pending signal, if any. The interpreter polls this

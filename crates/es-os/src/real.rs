@@ -305,6 +305,12 @@ impl Os for RealOs {
         self.start.elapsed().as_nanos() as u64
     }
 
+    // advance_ns: trait default no-op — the real clock advances itself.
+
+    fn open_desc_count(&self) -> usize {
+        self.files.iter().flatten().count()
+    }
+
     fn children_rusage(&self) -> Rusage {
         self.children
     }

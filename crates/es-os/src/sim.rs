@@ -88,6 +88,10 @@ pub struct SimOs {
     /// what makes `es --sim` usable interactively.
     interactive: bool,
     signals: VecDeque<Signal>,
+    /// Signals scheduled for delivery at a virtual time (sorted by
+    /// time). `take_signal` delivers one once the clock reaches it —
+    /// tests use this to model "^C arrives mid-computation".
+    sig_schedule: Vec<(u64, Signal)>,
     procs: Vec<ProcEntry>,
     next_pid: i32,
     initial_env: Vec<(String, String)>,
@@ -157,6 +161,7 @@ impl SimOs {
             console_err: Vec::new(),
             interactive: false,
             signals: VecDeque::new(),
+            sig_schedule: Vec::new(),
             procs,
             next_pid: 6000,
             shell_sys_ns: 0,
@@ -209,6 +214,14 @@ impl SimOs {
     /// Delivers a signal to the shell (tests use this to model ^C).
     pub fn raise_signal(&mut self, sig: Signal) {
         self.signals.push_back(sig);
+    }
+
+    /// Schedules a signal for delivery once the virtual clock reaches
+    /// `at_ns`. Deterministic: the signal surfaces at the first
+    /// `take_signal` poll at or after that instant.
+    pub fn schedule_signal(&mut self, at_ns: u64, sig: Signal) {
+        self.sig_schedule.push((at_ns, sig));
+        self.sig_schedule.sort_by_key(|&(t, _)| t);
     }
 
     /// The fake process table (shared with `ps`/`kill`).
@@ -643,7 +656,27 @@ impl Os for SimOs {
     }
 
     fn take_signal(&mut self) -> Option<Signal> {
-        self.signals.pop_front()
+        if let Some(sig) = self.signals.pop_front() {
+            return Some(sig);
+        }
+        match self.sig_schedule.first() {
+            Some(&(t, sig)) if t <= self.real_ns => {
+                self.sig_schedule.remove(0);
+                Some(sig)
+            }
+            _ => None,
+        }
+    }
+
+    // Explicit impls (not the trait defaults): generic `Machine<O: Os>`
+    // code dispatches through the trait, which would otherwise see the
+    // no-op `advance_ns` default instead of the inherent method above.
+    fn advance_ns(&mut self, ns: u64) {
+        SimOs::advance_ns(self, ns);
+    }
+
+    fn open_desc_count(&self) -> usize {
+        SimOs::open_desc_count(self)
     }
 
     fn initial_env(&self) -> Vec<(String, String)> {

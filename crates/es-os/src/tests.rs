@@ -743,3 +743,63 @@ fn fault_zero_rate_plan_is_inert() {
     assert!(os.take_fault_log().is_empty());
     assert!(os.fault_plan().unwrap().calls_seen() > 0, "plan was consulted");
 }
+
+#[test]
+fn signal_parse_full_alias_table() {
+    let table: &[(&str, Signal)] = &[
+        ("2", Signal::Int),
+        ("int", Signal::Int),
+        ("sigint", Signal::Int),
+        ("INT", Signal::Int),
+        ("SIGINT", Signal::Int),
+        ("-sigint", Signal::Int),
+        ("-9", Signal::Kill),
+        ("9", Signal::Kill),
+        ("kill", Signal::Kill),
+        ("SIGKILL", Signal::Kill),
+        ("15", Signal::Term),
+        ("term", Signal::Term),
+        ("SIGTERM", Signal::Term),
+        ("1", Signal::Hup),
+        ("hup", Signal::Hup),
+        ("SIGHUP", Signal::Hup),
+        ("3", Signal::Quit),
+        ("quit", Signal::Quit),
+        ("SIGQUIT", Signal::Quit),
+        ("14", Signal::Alrm),
+        ("alrm", Signal::Alrm),
+        ("SIGALRM", Signal::Alrm),
+        ("-SigAlrm", Signal::Alrm),
+    ];
+    for &(s, want) in table {
+        assert_eq!(Signal::parse(s), Some(want), "parse({s:?})");
+    }
+    for bad in ["", "-", "--", "sig", "99", "sigbogus", "int9", " int"] {
+        assert_eq!(Signal::parse(bad), None, "parse({bad:?}) should fail");
+    }
+}
+
+#[test]
+fn scheduled_signal_delivers_once_clock_reaches_it() {
+    let mut os = SimOs::new();
+    os.schedule_signal(500, Signal::Int);
+    assert_eq!(os.take_signal(), None, "not due yet");
+    os.advance_ns(499);
+    assert_eq!(os.take_signal(), None, "one ns early");
+    os.advance_ns(1);
+    assert_eq!(os.take_signal(), Some(Signal::Int), "due at exactly 500");
+    assert_eq!(os.take_signal(), None, "delivered only once");
+}
+
+#[test]
+fn scheduled_signals_deliver_in_time_order_after_queued_ones() {
+    let mut os = SimOs::new();
+    os.schedule_signal(200, Signal::Term);
+    os.schedule_signal(100, Signal::Hup);
+    os.raise_signal(Signal::Int);
+    os.advance_ns(1_000);
+    assert_eq!(os.take_signal(), Some(Signal::Int), "queued signals first");
+    assert_eq!(os.take_signal(), Some(Signal::Hup), "then earliest scheduled");
+    assert_eq!(os.take_signal(), Some(Signal::Term));
+    assert_eq!(os.take_signal(), None);
+}

@@ -10,6 +10,8 @@
 //!   --naive-calls     disable proper tail calls (1993 behaviour)
 //!   --stress-gc       collect on every allocation (debug mode)
 //!   --dump-env        print the encoded environment and exit
+//!   --limit KIND=N    arm a resource limit (repeatable); KIND is one
+//!                     of depth, steps, heap, fds, output, time (ms)
 //! ```
 //!
 //! With no script and no `-c`, starts the interactive loop — which is
@@ -28,6 +30,7 @@ struct Args {
     naive_calls: bool,
     stress_gc: bool,
     dump_env: bool,
+    limits: Vec<(String, u64)>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -39,6 +42,7 @@ fn parse_args() -> Result<Args, String> {
         naive_calls: false,
         stress_gc: false,
         dump_env: false,
+        limits: Vec::new(),
     };
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
@@ -51,9 +55,20 @@ fn parse_args() -> Result<Args, String> {
             "--naive-calls" => out.naive_calls = true,
             "--stress-gc" => out.stress_gc = true,
             "--dump-env" => out.dump_env = true,
+            "--limit" => {
+                let spec = argv.next().ok_or("--limit needs a KIND=N argument")?;
+                let (kind, value) = spec
+                    .split_once('=')
+                    .ok_or_else(|| format!("--limit {spec}: expected KIND=N"))?;
+                let value: u64 = value
+                    .parse()
+                    .map_err(|_| format!("--limit {spec}: '{value}' is not a number"))?;
+                out.limits.push((kind.to_string(), value));
+            }
             "-h" | "--help" => {
                 println!(
-                    "usage: es [-c CMD] [--real|--sim] [--naive-calls] [--stress-gc] [script [args...]]"
+                    "usage: es [-c CMD] [--real|--sim] [--naive-calls] [--stress-gc] \
+                     [--limit KIND=N] [script [args...]]"
                 );
                 std::process::exit(0);
             }
@@ -77,6 +92,12 @@ fn run_shell<O: Os + Clone>(os: O, args: Args) -> i32 {
         }
     };
     m.heap.set_stress(args.stress_gc);
+    for (kind, value) in &args.limits {
+        if let Err(msg) = m.arm_limit(kind, *value) {
+            eprintln!("es: --limit: {msg}");
+            return 2;
+        }
+    }
     if args.dump_env {
         for (k, v) in es_core_env(&m) {
             println!("{k}={v}");

@@ -88,9 +88,23 @@ fn naive_calls_flag_limits_recursion() {
         "",
     );
     assert!(
-        err.contains("recursion"),
+        err.contains("limit depth"),
         "depth guard fires in naive mode: {err}"
     );
+}
+
+#[test]
+fn limit_flag_arms_budget_and_breach_is_reported() {
+    let (_, err, status) = run_es(&["--limit", "steps=1000", "-c", "forever {true}"], "");
+    assert!(err.contains("limit steps"), "step budget fired: {err}");
+    assert_eq!(status, 1);
+    // Bad specs are rejected up front with a usage-style error.
+    let (_, err, status) = run_es(&["--limit", "bogus=1", "-c", "true"], "");
+    assert!(err.contains("unknown limit kind"), "{err}");
+    assert_eq!(status, 2);
+    let (_, err, status) = run_es(&["--limit", "steps", "-c", "true"], "");
+    assert!(err.contains("KIND=N"), "{err}");
+    assert_eq!(status, 2);
 }
 
 #[test]
