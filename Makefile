@@ -1,9 +1,9 @@
 # Convenience targets for the es reproduction. `just` is not installed
 # in the build image, so plain make it is.
 
-.PHONY: all build test soak soak-limits lint bench clean
+.PHONY: all build test conform fuzz soak soak-limits lint bench clean
 
-all: build test lint
+all: build test conform fuzz lint
 
 build:
 	cargo build --release
@@ -11,6 +11,19 @@ build:
 # Tier-1 verification (see ROADMAP.md).
 test:
 	cargo build --release && cargo test -q
+
+# E12 — differential conformance: every scenario runs on both kernels
+# (SimOs and RealOs); traces must agree on every oracle field or carry
+# a divergence-ledger entry. Zero silent mismatches tolerated.
+conform:
+	cargo test -p es-conform --test conform -q
+
+# E12 — grammar-aware script fuzz: seeded sessions against SimOs
+# (panic/leak/replay invariants, fault weather on a third of seeds) and
+# differentially against RealOs (fault-free subset, zero divergences).
+FUZZ_SEEDS ?= 256
+fuzz:
+	FUZZ_SEEDS=$(FUZZ_SEEDS) cargo test -p es-conform --test fuzz -q
 
 # E10 — fault-injection soak: 256 seeded fault plans against a scripted
 # session, asserting no panics, no descriptor leaks, and byte-identical

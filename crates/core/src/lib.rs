@@ -44,6 +44,7 @@ mod env;
 mod eval;
 mod exception;
 pub mod governor;
+pub mod harness;
 mod machine;
 mod prims;
 mod value;

@@ -250,49 +250,37 @@ const SOAK_SESSION: &[&str] = &[
     "rm -f soak.txt",
 ];
 
-/// One full soak run: boots a clean machine, arms the seeded plan,
-/// drives the session (collecting every command's outcome — errors are
-/// data here, not failures), and returns everything observable plus
-/// the final descriptor count relative to baseline.
-fn soak_run(seed: u64) -> (Vec<String>, String, String, Vec<String>, usize, usize) {
+/// One full soak run: boots a clean machine, arms the seeded plan, and
+/// drives the session through the shared harness (errors are data
+/// here, not failures). Returns the trace plus the fault log.
+fn soak_run(seed: u64) -> (crate::harness::SessionTrace, Vec<String>) {
     let mut m = machine();
-    let baseline = m.os().open_desc_count();
     m.os_mut()
         .set_fault_plan(Some(es_os::FaultPlan::new(seed).uniform_rate(200)));
-    let mut outcomes = Vec::with_capacity(SOAK_SESSION.len());
-    for cmd in SOAK_SESSION {
-        match m.run(cmd) {
-            Ok(v) => outcomes.push(format!("ok: {}", v.join(" "))),
-            Err(e) => outcomes.push(format!("err: {e}")),
-        }
-    }
-    let out = m.os_mut().take_output();
-    let err = m.os_mut().take_error();
+    let trace = crate::harness::run_session(&mut m, SOAK_SESSION);
     let log: Vec<String> = m
         .os_mut()
         .take_fault_log()
         .iter()
         .map(|e| e.to_string())
         .collect();
-    let open = m.os().open_desc_count();
-    (outcomes, out, err, log, baseline, open)
+    (trace, log)
 }
 
 #[test]
 fn soak_fault_plans_no_panic_no_leak_deterministic_replay() {
     let mut injected_total = 0usize;
     for seed in 0..256u64 {
-        let (outcomes, out, err, log, baseline, open) = soak_run(seed);
+        let (trace, log) = soak_run(seed);
         assert_eq!(
-            open, baseline,
+            trace.fd_delta(),
+            0,
             "seed {seed} leaked descriptors (fault log: {log:?})"
         );
         injected_total += log.len();
         // Byte-identical replay from the same seed.
-        let (outcomes2, out2, err2, log2, _, _) = soak_run(seed);
-        assert_eq!(outcomes, outcomes2, "seed {seed} outcomes diverge on replay");
-        assert_eq!(out, out2, "seed {seed} stdout diverges on replay");
-        assert_eq!(err, err2, "seed {seed} stderr diverges on replay");
+        let (trace2, log2) = soak_run(seed);
+        assert_eq!(trace, trace2, "seed {seed} trace diverges on replay");
         assert_eq!(log, log2, "seed {seed} fault log diverges on replay");
     }
     assert!(
@@ -328,49 +316,40 @@ const LIMIT_SOAK_SESSION: &[&str] = &[
 
 /// One governed soak run for a seed: a fault plan (as in E10) plus a
 /// step budget that varies with the seed, tight enough that the loop
-/// commands always breach it.
-fn limit_soak_run(seed: u64) -> (Vec<String>, String, String, Vec<String>, usize, usize) {
+/// commands always breach it. The budget is re-armed before every
+/// command via the harness hook (a breach disarms the tripped kind).
+fn limit_soak_run(seed: u64) -> (crate::harness::SessionTrace, Vec<String>) {
     let mut m = machine();
-    let baseline = m.os().open_desc_count();
     m.os_mut()
         .set_fault_plan(Some(es_os::FaultPlan::new(seed).uniform_rate(150)));
     let budget = 400 + (seed % 7) * 100;
-    let mut outcomes = Vec::with_capacity(LIMIT_SOAK_SESSION.len());
-    for cmd in LIMIT_SOAK_SESSION {
+    let trace = crate::harness::run_session_with(&mut m, LIMIT_SOAK_SESSION, |m| {
         m.arm_limit("steps", budget).expect("steps is a limit kind");
-        match m.run(cmd) {
-            Ok(v) => outcomes.push(format!("ok: {}", v.join(" "))),
-            Err(e) => outcomes.push(format!("err: {e}")),
-        }
-    }
-    let out = m.os_mut().take_output();
-    let err = m.os_mut().take_error();
+    });
     let log: Vec<String> = m
         .os_mut()
         .take_fault_log()
         .iter()
         .map(|e| e.to_string())
         .collect();
-    let open = m.os().open_desc_count();
-    (outcomes, out, err, log, baseline, open)
+    (trace, log)
 }
 
 #[test]
 fn soak_limits_no_panic_no_leak_deterministic_replay() {
     let mut breaches = 0usize;
     for seed in 0..256u64 {
-        let (outcomes, out, err, log, baseline, open) = limit_soak_run(seed);
+        let (trace, log) = limit_soak_run(seed);
         assert_eq!(
-            open, baseline,
+            trace.fd_delta(),
+            0,
             "seed {seed} leaked descriptors (fault log: {log:?})"
         );
-        breaches += outcomes.iter().filter(|o| o.contains("limit")).count()
-            + out.matches("caught limit").count();
+        breaches += trace.outcomes.iter().filter(|o| o.contains("limit")).count()
+            + trace.stdout.matches("caught limit").count();
         // Byte-identical replay from the same seed.
-        let (outcomes2, out2, err2, log2, _, _) = limit_soak_run(seed);
-        assert_eq!(outcomes, outcomes2, "seed {seed} outcomes diverge on replay");
-        assert_eq!(out, out2, "seed {seed} stdout diverges on replay");
-        assert_eq!(err, err2, "seed {seed} stderr diverges on replay");
+        let (trace2, log2) = limit_soak_run(seed);
+        assert_eq!(trace, trace2, "seed {seed} trace diverges on replay");
         assert_eq!(log, log2, "seed {seed} fault log diverges on replay");
     }
     assert!(

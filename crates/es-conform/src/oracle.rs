@@ -1,0 +1,99 @@
+//! The trace oracle: normalization and field-by-field comparison of
+//! two [`SessionTrace`]s, one per backend.
+
+use es_core::harness::SessionTrace;
+use std::fmt;
+
+/// The placeholder scenario scripts use for the per-run scratch
+/// directory; [`normalize`] maps each backend's real path back to it
+/// so traces from different roots compare equal.
+pub const TMP_TOKEN: &str = "@TMP@";
+
+/// A comparable dimension of a [`SessionTrace`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Field {
+    /// Per-command return values / error strings (covers exit status
+    /// and `&&`/`||` behaviour).
+    Outcomes,
+    /// Standard-output bytes.
+    Stdout,
+    /// Standard-error bytes.
+    Stderr,
+    /// Open-descriptor delta over the session.
+    FdDelta,
+}
+
+impl fmt::Display for Field {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Field::Outcomes => "outcomes",
+            Field::Stdout => "stdout",
+            Field::Stderr => "stderr",
+            Field::FdDelta => "fd-delta",
+        })
+    }
+}
+
+/// One observed SimOs↔RealOs disagreement.
+#[derive(Debug, Clone)]
+pub struct Divergence {
+    /// The scenario (or fuzz seed) that diverged.
+    pub scenario: String,
+    /// Which trace field disagreed.
+    pub field: Field,
+    /// The simulator's value, rendered for the failure message.
+    pub sim: String,
+    /// The real backend's value.
+    pub real: String,
+}
+
+impl fmt::Display for Divergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} [{}]\n  sim:  {:?}\n  real: {:?}",
+            self.scenario, self.field, self.sim, self.real
+        )
+    }
+}
+
+/// Rewrites every occurrence of the backend's scratch directory back
+/// to [`TMP_TOKEN`] in all textual trace fields.
+pub fn normalize(trace: &mut SessionTrace, tmp_root: &str) {
+    let fix = |s: &str| s.replace(tmp_root, TMP_TOKEN);
+    trace.stdout = fix(&trace.stdout);
+    trace.stderr = fix(&trace.stderr);
+    for o in &mut trace.outcomes {
+        *o = fix(o);
+    }
+}
+
+/// Compares two (already normalized) traces and returns every
+/// disagreement. An empty result means the backends agree on
+/// everything the oracle observes.
+pub fn compare(scenario: &str, sim: &SessionTrace, real: &SessionTrace) -> Vec<Divergence> {
+    let mut out = Vec::new();
+    let mut push = |field: Field, s: String, r: String| {
+        if s != r {
+            out.push(Divergence {
+                scenario: scenario.to_string(),
+                field,
+                sim: s,
+                real: r,
+            });
+        }
+    };
+    push(
+        Field::Outcomes,
+        sim.outcomes.join(" | "),
+        real.outcomes.join(" | "),
+    );
+    push(Field::Stdout, sim.stdout.clone(), real.stdout.clone());
+    push(Field::Stderr, sim.stderr.clone(), real.stderr.clone());
+    push(
+        Field::FdDelta,
+        sim.fd_delta().to_string(),
+        real.fd_delta().to_string(),
+    );
+    out
+}

@@ -1,0 +1,77 @@
+//! `BENCH_conform.json`: the machine-readable trajectory file.
+//!
+//! The conformance and fuzz suites run as separate test binaries, so
+//! the report is built up by merging: each section reads the existing
+//! file (if any), folds in its own keys, and rewrites it. The format
+//! is a flat JSON object, one key per line, with integer and string
+//! values only — simple enough to re-parse without a JSON library
+//! (the build image has no serde).
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+/// A report value: integers for counts/times, strings for ledgers.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// An integer metric.
+    Num(i64),
+    /// A free-text metric (must not contain `"` or backslashes).
+    Str(String),
+}
+
+/// Where the report lives: the repository root.
+pub fn report_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_conform.json")
+}
+
+static REPORT_LOCK: Mutex<()> = Mutex::new(());
+
+/// Merges `entries` into the report file (within-process writes are
+/// serialized by a lock; across processes the test binaries run
+/// sequentially under cargo).
+pub fn record(entries: &[(&str, Value)]) {
+    let _guard = REPORT_LOCK.lock().unwrap();
+    let path = report_path();
+    let mut map = std::fs::read_to_string(&path)
+        .map(|text| parse_flat(&text))
+        .unwrap_or_default();
+    for (k, v) in entries {
+        map.insert(k.to_string(), v.clone());
+    }
+    let mut out = String::from("{\n");
+    let total = map.len();
+    for (i, (k, v)) in map.iter().enumerate() {
+        let comma = if i + 1 == total { "" } else { "," };
+        match v {
+            Value::Num(n) => out.push_str(&format!("  \"{k}\": {n}{comma}\n")),
+            Value::Str(s) => out.push_str(&format!("  \"{k}\": \"{s}\"{comma}\n")),
+        }
+    }
+    out.push_str("}\n");
+    if let Err(e) = std::fs::write(&path, out) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    }
+}
+
+/// Parses the flat one-key-per-line format [`record`] writes. Tolerant
+/// of anything it does not recognize (unknown lines are dropped).
+fn parse_flat(text: &str) -> BTreeMap<String, Value> {
+    let mut map = BTreeMap::new();
+    for line in text.lines() {
+        let line = line.trim().trim_end_matches(',');
+        let Some(rest) = line.strip_prefix('"') else {
+            continue;
+        };
+        let Some((key, value)) = rest.split_once("\": ") else {
+            continue;
+        };
+        let value = value.trim();
+        if let Some(s) = value.strip_prefix('"').and_then(|v| v.strip_suffix('"')) {
+            map.insert(key.to_string(), Value::Str(s.to_string()));
+        } else if let Ok(n) = value.parse::<i64>() {
+            map.insert(key.to_string(), Value::Num(n));
+        }
+    }
+    map
+}

@@ -181,6 +181,13 @@ pub trait Os {
     fn take_signal(&mut self) -> Option<Signal>;
     /// The process environment the shell was started with.
     fn initial_env(&self) -> Vec<(String, String)>;
+    /// Drains the captured console streams as `(stdout, stderr)`.
+    /// Backends that write straight to the process's stdio (e.g.
+    /// [`RealOs`] outside capture mode) return empty strings; the
+    /// conformance harness uses this to collect traces generically.
+    fn take_console(&mut self) -> (String, String) {
+        (String::new(), String::new())
+    }
     /// Merges a forked child kernel's observable effects back into the
     /// parent. The shell's `fork` clones the whole kernel and runs the
     /// child to completion; in a real kernel the filesystem, terminal,

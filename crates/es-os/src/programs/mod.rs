@@ -16,6 +16,7 @@ mod extra;
 mod files;
 mod grep;
 mod misc;
+mod multi;
 mod sed;
 mod text;
 
@@ -28,6 +29,7 @@ pub fn install_all(map: &mut BTreeMap<&'static str, ProgramFn>) {
     files::install(map);
     misc::install(map);
     extra::install(map);
+    multi::install(map);
     map.insert("grep", grep::grep);
     map.insert("sed", sed::sed);
 }

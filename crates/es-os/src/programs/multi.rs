@@ -1,0 +1,177 @@
+//! Multi-input text programs: paste, comm.
+//!
+//! These are the pipeline sources that take *several* files at once,
+//! added so generated fuzz pipelines (and the conformance harness)
+//! exercise multi-input plumbing. Output formats follow GNU coreutils
+//! byte-for-byte for the supported flag subsets, so the SimOs↔RealOs
+//! differential oracle can compare them directly.
+
+use super::{lines_of, ProcCtx, ProgramFn};
+use std::collections::BTreeMap;
+
+pub(super) fn install(map: &mut BTreeMap<&'static str, ProgramFn>) {
+    map.insert("paste", paste);
+    map.insert("comm", comm);
+}
+
+/// Reads one input ("-" means stdin) as lines.
+fn input_lines(ctx: &mut ProcCtx, path: &str) -> Result<Vec<String>, String> {
+    if path == "-" {
+        let data = ctx.stdin_all();
+        return Ok(lines_of(&data));
+    }
+    match ctx.read_file(path) {
+        Ok(data) => Ok(lines_of(&data)),
+        Err(e) => Err(e.to_string()),
+    }
+}
+
+/// `paste [-s] [-d list] file...` — merge corresponding (or, with
+/// `-s`, sequential) lines, joined by delimiters cycling through
+/// `list` (default tab). Matches GNU: files exhausted early
+/// contribute empty fields.
+fn paste(ctx: &mut ProcCtx) -> i32 {
+    let mut serial = false;
+    let mut delims: Vec<char> = vec!['\t'];
+    let mut inputs = Vec::new();
+    let args = ctx.args().to_vec();
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "-s" => serial = true,
+            "-d" => match iter.next() {
+                Some(list) if !list.is_empty() => delims = list.chars().collect(),
+                _ => return ctx.fail("option requires an argument -- 'd'"),
+            },
+            other => {
+                if let Some(list) = other.strip_prefix("-d") {
+                    if !list.is_empty() {
+                        delims = list.chars().collect();
+                        continue;
+                    }
+                }
+                inputs.push(other.to_string());
+            }
+        }
+    }
+    if inputs.is_empty() {
+        inputs.push("-".to_string());
+    }
+    let mut columns = Vec::with_capacity(inputs.len());
+    for path in &inputs {
+        match input_lines(ctx, path) {
+            Ok(lines) => columns.push(lines),
+            Err(e) => return ctx.fail(&e),
+        }
+    }
+    let delim_at = |i: usize| delims[i % delims.len()];
+    let mut out = String::new();
+    if serial {
+        // One output line per input file, its lines joined in order.
+        for lines in &columns {
+            for (i, line) in lines.iter().enumerate() {
+                if i > 0 {
+                    out.push(delim_at(i - 1));
+                }
+                out.push_str(line);
+            }
+            out.push('\n');
+        }
+    } else {
+        let rows = columns.iter().map(Vec::len).max().unwrap_or(0);
+        for row in 0..rows {
+            for (i, lines) in columns.iter().enumerate() {
+                if i > 0 {
+                    out.push(delim_at(i - 1));
+                }
+                if let Some(line) = lines.get(row) {
+                    out.push_str(line);
+                }
+            }
+            out.push('\n');
+        }
+    }
+    let _ = ctx.write_fd(1, out.as_bytes());
+    0
+}
+
+/// `comm [-123] file1 file2` — three-column comparison of two sorted
+/// files: lines only in file1, lines only in file2 (one leading tab),
+/// lines in both (two leading tabs). `-1`/`-2`/`-3` suppress a column
+/// and its share of the indentation, exactly like GNU.
+fn comm(ctx: &mut ProcCtx) -> i32 {
+    let mut show = (true, true, true);
+    let mut inputs = Vec::new();
+    for arg in ctx.args().to_vec() {
+        if let Some(flags) = arg.strip_prefix('-') {
+            if arg != "-" && !flags.is_empty() && flags.chars().all(|c| "123".contains(c)) {
+                for c in flags.chars() {
+                    match c {
+                        '1' => show.0 = false,
+                        '2' => show.1 = false,
+                        '3' => show.2 = false,
+                        _ => unreachable!("filtered above"),
+                    }
+                }
+                continue;
+            }
+        }
+        inputs.push(arg);
+    }
+    if inputs.len() != 2 {
+        return ctx.fail("usage: comm [-123] file1 file2");
+    }
+    let a = match input_lines(ctx, &inputs[0]) {
+        Ok(lines) => lines,
+        Err(e) => return ctx.fail(&e),
+    };
+    let b = match input_lines(ctx, &inputs[1]) {
+        Ok(lines) => lines,
+        Err(e) => return ctx.fail(&e),
+    };
+    // Column indents shrink as earlier columns are suppressed.
+    let indent2 = if show.0 { "\t" } else { "" };
+    let indent3 = match (show.0, show.1) {
+        (true, true) => "\t\t",
+        (true, false) | (false, true) => "\t",
+        (false, false) => "",
+    };
+    let mut out = String::new();
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() || j < b.len() {
+        let order = match (a.get(i), b.get(j)) {
+            (Some(x), Some(y)) => x.cmp(y),
+            (Some(_), None) => std::cmp::Ordering::Less,
+            (None, Some(_)) => std::cmp::Ordering::Greater,
+            (None, None) => unreachable!("loop condition"),
+        };
+        match order {
+            std::cmp::Ordering::Less => {
+                if show.0 {
+                    out.push_str(&a[i]);
+                    out.push('\n');
+                }
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                if show.1 {
+                    out.push_str(indent2);
+                    out.push_str(&b[j]);
+                    out.push('\n');
+                }
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                if show.2 {
+                    out.push_str(indent3);
+                    out.push_str(&a[i]);
+                    out.push('\n');
+                }
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    let _ = ctx.write_fd(1, out.as_bytes());
+    0
+}

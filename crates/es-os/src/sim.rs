@@ -683,6 +683,10 @@ impl Os for SimOs {
         self.initial_env.clone()
     }
 
+    fn take_console(&mut self) -> (String, String) {
+        (self.take_output(), self.take_error())
+    }
+
     fn absorb_fork(&mut self, child: Self) {
         // Execution is strictly sequential (the child ran to
         // completion), so the child's kernel state is simply the

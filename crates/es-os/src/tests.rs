@@ -803,3 +803,104 @@ fn scheduled_signals_deliver_in_time_order_after_queued_ones() {
     assert_eq!(os.take_signal(), Some(Signal::Term));
     assert_eq!(os.take_signal(), None);
 }
+
+// --------------------------------------------------------------------------
+// Multi-input text programs (paste, comm) — output formats follow GNU
+// coreutils byte-for-byte so the differential conformance oracle can
+// compare them directly against the real binaries.
+// --------------------------------------------------------------------------
+
+#[test]
+fn paste_merges_corresponding_lines_with_tabs() {
+    let mut os = SimOs::new();
+    os.vfs_mut().put_file("/tmp/p1", b"a\nb\nc\n").unwrap();
+    os.vfs_mut().put_file("/tmp/p2", b"x\ny\n").unwrap();
+    let (status, out) = run_prog(&mut os, "paste", &["/tmp/p1", "/tmp/p2"], "");
+    assert_eq!(status, 0);
+    // The exhausted second file still contributes an (empty) field.
+    assert_eq!(out, "a\tx\nb\ty\nc\t\n");
+}
+
+#[test]
+fn paste_custom_delimiters_cycle() {
+    let mut os = SimOs::new();
+    os.vfs_mut().put_file("/tmp/p1", b"a\nb\n").unwrap();
+    os.vfs_mut().put_file("/tmp/p2", b"x\ny\n").unwrap();
+    let (status, out) = run_prog(&mut os, "paste", &["-d", ":", "/tmp/p1", "/tmp/p2"], "");
+    assert_eq!(status, 0);
+    assert_eq!(out, "a:x\nb:y\n");
+    let (status, out) = run_prog(
+        &mut os,
+        "paste",
+        &["-d", ":;", "/tmp/p1", "/tmp/p2", "/tmp/p1"],
+        "",
+    );
+    assert_eq!(status, 0, "delimiter list cycles across three columns");
+    assert_eq!(out, "a:x;a\nb:y;b\n");
+}
+
+#[test]
+fn paste_serial_joins_each_file_on_one_line() {
+    let mut os = SimOs::new();
+    os.vfs_mut().put_file("/tmp/p1", b"a\nb\nc\n").unwrap();
+    os.vfs_mut().put_file("/tmp/p2", b"x\ny\n").unwrap();
+    let (status, out) = run_prog(&mut os, "paste", &["-s", "/tmp/p1", "/tmp/p2"], "");
+    assert_eq!(status, 0);
+    assert_eq!(out, "a\tb\tc\nx\ty\n");
+}
+
+#[test]
+fn paste_reads_stdin_for_dash_and_no_operands() {
+    let mut os = SimOs::new();
+    let (status, out) = run_prog(&mut os, "paste", &[], "one\ntwo\n");
+    assert_eq!(status, 0);
+    assert_eq!(out, "one\ntwo\n");
+    os.vfs_mut().put_file("/tmp/p1", b"a\nb\n").unwrap();
+    let (status, out) = run_prog(&mut os, "paste", &["/tmp/p1", "-"], "one\ntwo\n");
+    assert_eq!(status, 0);
+    assert_eq!(out, "a\tone\nb\ttwo\n");
+}
+
+#[test]
+fn paste_missing_file_fails() {
+    let mut os = SimOs::new();
+    let (status, _) = run_prog(&mut os, "paste", &["/tmp/nope"], "");
+    assert_eq!(status, 1);
+}
+
+#[test]
+fn comm_three_columns_with_tab_indents() {
+    let mut os = SimOs::new();
+    os.vfs_mut()
+        .put_file("/tmp/c1", b"apple\nbanana\ncherry\n")
+        .unwrap();
+    os.vfs_mut().put_file("/tmp/c2", b"banana\ndate\n").unwrap();
+    let (status, out) = run_prog(&mut os, "comm", &["/tmp/c1", "/tmp/c2"], "");
+    assert_eq!(status, 0);
+    assert_eq!(out, "apple\n\t\tbanana\ncherry\n\tdate\n");
+}
+
+#[test]
+fn comm_suppression_flags_shrink_indentation() {
+    let mut os = SimOs::new();
+    os.vfs_mut()
+        .put_file("/tmp/c1", b"apple\nbanana\ncherry\n")
+        .unwrap();
+    os.vfs_mut().put_file("/tmp/c2", b"banana\ndate\n").unwrap();
+    let case = |os: &mut SimOs, flags: &str| run_prog(os, "comm", &[flags, "/tmp/c1", "/tmp/c2"], "").1;
+    assert_eq!(case(&mut os, "-12"), "banana\n", "only the common column, unindented");
+    assert_eq!(case(&mut os, "-3"), "apple\ncherry\n\tdate\n");
+    assert_eq!(case(&mut os, "-23"), "apple\ncherry\n");
+    assert_eq!(case(&mut os, "-1"), "\tbanana\ndate\n", "col2 bare, col3 one tab");
+    let (status, _) = run_prog(&mut os, "comm", &["/tmp/c1"], "");
+    assert_eq!(status, 1, "comm needs exactly two operands");
+}
+
+#[test]
+fn comm_reads_stdin_for_dash() {
+    let mut os = SimOs::new();
+    os.vfs_mut().put_file("/tmp/c1", b"a\nm\nz\n").unwrap();
+    let (status, out) = run_prog(&mut os, "comm", &["/tmp/c1", "-"], "m\n");
+    assert_eq!(status, 0);
+    assert_eq!(out, "a\n\t\tm\nz\n");
+}
