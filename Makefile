@@ -1,7 +1,7 @@
 # Convenience targets for the es reproduction. `just` is not installed
 # in the build image, so plain make it is.
 
-.PHONY: all build test conform fuzz soak soak-limits lint bench clean
+.PHONY: all build test conform fuzz soak soak-limits lint bench bench-eval clean
 
 all: build test conform fuzz lint
 
@@ -14,9 +14,12 @@ test:
 
 # E12 — differential conformance: every scenario runs on both kernels
 # (SimOs and RealOs); traces must agree on every oracle field or carry
-# a divergence-ledger entry. Zero silent mismatches tolerated.
+# a divergence-ledger entry. Zero silent mismatches tolerated. Then
+# E13's engine differential: every scenario and 256 fuzzed sessions
+# run under both evaluation engines; traces must be identical.
 conform:
 	cargo test -p es-conform --test conform -q
+	cargo test -p es-conform --test engines -q
 
 # E12 — grammar-aware script fuzz: seeded sessions against SimOs
 # (panic/leak/replay invariants, fault weather on a third of seeds) and
@@ -45,6 +48,14 @@ lint:
 
 bench:
 	cargo bench -p es-bench
+
+# E7 + E13 — evaluator benches: hook-dispatch ablation, then the
+# bytecode-vs-tree engine comparison, which writes BENCH_eval.json
+# (ns/op for the Figure 1 pipeline, a hook-heavy loop, a closure-call
+# loop, and the isolated unspoofed-hook overhead, per engine).
+bench-eval:
+	cargo bench -p es-bench --bench e7_hook_ablation
+	cargo bench -p es-bench --bench e13_engine
 
 clean:
 	cargo clean

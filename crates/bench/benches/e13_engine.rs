@@ -1,0 +1,121 @@
+//! E13 — bytecode engine vs tree walker (EXPERIMENTS.md §E13).
+//!
+//! Measures ns/op for three workloads under each evaluation engine:
+//!
+//! * the Figure 1 six-stage pipeline (hook dispatch dominated by
+//!   `%pipe`, plus real simulated-coreutils work),
+//! * a hook-heavy loop (a pipe and a redirection per iteration — pure
+//!   dispatch pressure), and
+//! * a closure-call loop (user function calls, exercising the
+//!   compiled-body cache).
+//!
+//! It also isolates the *unspoofed hook overhead* per engine: the gap
+//! between `{true; true; true}` (a `%seq` hook dispatch over trivial
+//! thunks) and the equivalent direct `$&seq` primitive call. The
+//! inline caches exist to shrink that gap — `%seq` is used rather
+//! than `%pipe` because a pipeline's process machinery (~90µs) would
+//! drown the ~100ns dispatch difference in scheduling noise.
+//!
+//! The criterion shim reports only to stderr, so this bench is a plain
+//! `harness = false` main that hand-writes `BENCH_eval.json` at the
+//! repo root.
+
+use es_bench::{machine_with, run, synth_document, FIG1_PIPELINE};
+use es_core::{Engine, Machine, Options};
+use es_os::SimOs;
+use std::path::PathBuf;
+use std::time::Instant;
+
+fn engine_machine(engine: Engine) -> Machine<SimOs> {
+    machine_with(Options {
+        engine,
+        ..Options::default()
+    })
+}
+
+fn engine_machine_with_paper(engine: Engine, words: usize) -> Machine<SimOs> {
+    let mut os = SimOs::new();
+    os.vfs_mut()
+        .put_file("/home/user/paper9", synth_document(words).as_bytes())
+        .expect("vfs accepts document");
+    Machine::with_options(
+        os,
+        Options {
+            engine,
+            ..Options::default()
+        },
+    )
+    .expect("machine boots")
+}
+
+/// Times `iters` runs of `src` after `warmup` unmeasured runs,
+/// repeated over several samples; returns the minimum ns/op seen (the
+/// run least disturbed by the host scheduler).
+fn time_ns(m: &mut Machine<SimOs>, src: &str, warmup: u32, iters: u32) -> u64 {
+    const SAMPLES: u32 = 5;
+    for _ in 0..warmup {
+        run(m, src);
+    }
+    let mut best = u64::MAX;
+    for _ in 0..SAMPLES {
+        let started = Instant::now();
+        for _ in 0..iters {
+            run(m, src);
+        }
+        best = best.min(started.elapsed().as_nanos() as u64 / u64::from(iters));
+    }
+    best
+}
+
+const HOOK_LOOP: &str = "for (i = `{seq 20}) { echo $i > /tmp/e13; cat /tmp/e13 | wc -l }";
+const CLOSURE_LOOP: &str = "for (i = `{seq 50}) { add1 $i }";
+const SEQ_HOOK: &str = "{true; true; true}";
+const SEQ_DIRECT: &str = "$&seq {true} {true} {true}";
+
+fn main() {
+    let engines = [(Engine::Tree, "tree"), (Engine::Bytecode, "bytecode")];
+    let mut fields: Vec<(String, u64)> = Vec::new();
+
+    for (engine, name) in engines {
+        // Figure 1 pipeline over a ~2000-word corpus.
+        let mut m = engine_machine_with_paper(engine, 2000);
+        let fig1 = time_ns(&mut m, FIG1_PIPELINE, 3, 20);
+        fields.push((format!("fig1_pipeline_{name}_ns_op"), fig1));
+
+        // Hook-heavy loop: 20 iterations, each a redirection (%create)
+        // plus a two-stage pipeline (%pipe), under %seq blocks.
+        let mut m = engine_machine(engine);
+        let hooks = time_ns(&mut m, HOOK_LOOP, 3, 30);
+        fields.push((format!("hook_loop_{name}_ns_op"), hooks));
+
+        // Closure-call loop: 50 calls of a user function per run.
+        let mut m = engine_machine(engine);
+        run(&mut m, "fn add1 x { result 1 $x }");
+        let closures = time_ns(&mut m, CLOSURE_LOOP, 5, 100);
+        fields.push((format!("closure_loop_{name}_ns_op"), closures));
+
+        // Unspoofed hook overhead: %seq hook dispatch minus the
+        // direct primitive call for the same three thunks.
+        let mut m = engine_machine(engine);
+        let hook_ns = time_ns(&mut m, SEQ_HOOK, 100, 5000);
+        let direct_ns = time_ns(&mut m, SEQ_DIRECT, 100, 5000);
+        fields.push((format!("seq_hook_{name}_ns_op"), hook_ns));
+        fields.push((format!("seq_direct_{name}_ns_op"), direct_ns));
+        fields.push((
+            format!("hook_overhead_{name}_ns_op"),
+            hook_ns.saturating_sub(direct_ns),
+        ));
+    }
+
+    let mut json = String::from("{\n");
+    for (i, (key, value)) in fields.iter().enumerate() {
+        let comma = if i + 1 == fields.len() { "" } else { "," };
+        json.push_str(&format!("  \"{key}\": {value}{comma}\n"));
+        eprintln!("{key:40} {value:>12} ns/op");
+    }
+    json.push_str("}\n");
+
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_eval.json");
+    std::fs::write(&path, json).expect("BENCH_eval.json writes");
+    eprintln!("wrote {}", path.display());
+}

@@ -16,7 +16,7 @@
 //! experiment E6 measures via [`crate::Machine::max_depth_seen`]).
 
 use crate::exception::{EsError, EsResult};
-use crate::machine::Machine;
+use crate::machine::{Engine, Machine};
 use crate::prims;
 use crate::value::{self, ListBuilder};
 use es_gc::{Obj, Ref, RootSlot};
@@ -82,6 +82,7 @@ pub fn eval_node<O: Os + Clone>(
                 let inner = m.heap.roots_len();
                 let value_slot = eval_exprs(m, value_exprs, chain, false)?;
                 let value = m.heap.root(value_slot);
+                m.note_binding(&name);
                 let binding = m.heap.alloc_binding(&name, value, m.heap.root(chain));
                 m.heap.set_root(chain, binding);
                 m.heap.truncate_roots(inner);
@@ -142,6 +143,7 @@ pub fn eval_node<O: Os + Clone>(
                         None => Ref::NIL,
                     };
                     let v = m.heap.push_root(value);
+                    m.note_binding(name);
                     let binding = m.heap.alloc_binding(name, m.heap.root(v), m.heap.root(chain));
                     m.heap.set_root(chain, binding);
                 }
@@ -227,7 +229,7 @@ pub fn eval_node<O: Os + Clone>(
 /// Truncates the scope, keeping a value flow's ref alive by re-rooting
 /// is unnecessary: truncation never collects, and the caller roots the
 /// returned ref before the next allocation.
-fn pop_scope<O: Os + Clone>(m: &mut Machine<O>, base: usize, flow: Flow) -> Flow {
+pub(crate) fn pop_scope<O: Os + Clone>(m: &mut Machine<O>, base: usize, flow: Flow) -> Flow {
     m.heap.truncate_roots(base);
     flow
 }
@@ -241,7 +243,7 @@ pub fn throw_is<O: Os + Clone>(m: &Machine<O>, e: Ref, name: &str) -> bool {
 }
 
 /// Evaluates a name expression that must denote exactly one name.
-fn single_name<O: Os + Clone>(
+pub(crate) fn single_name<O: Os + Clone>(
     m: &mut Machine<O>,
     expr: &Expr,
     env: RootSlot,
@@ -374,36 +376,7 @@ pub fn eval_expr<O: Os + Clone>(
     match expr {
         Expr::Word(w) => {
             if glob && w.has_live_glob() {
-                // The paper's Future Work: "The most notable of
-                // [the missing hooks] is the wildcard expansion". This
-                // reproduction exposes it: if `fn-%glob` is defined,
-                // expansion is delegated to it (pattern text as the
-                // argument); otherwise the built-in expansion runs,
-                // which "behaves identically to that in traditional
-                // shells".
-                let hook = m.lookup(m.heap.root(env), "fn-%glob");
-                if let Some(h) = hook {
-                    if !h.is_nil() {
-                        let base = m.heap.roots_len();
-                        let h_slot = m.heap.push_root(h);
-                        let mut b = ListBuilder::new(&mut m.heap);
-                        b.append_slot(&mut m.heap, h_slot);
-                        b.push_str(&mut m.heap, &w.text());
-                        let flow = apply_slot(m, b.head_slot(), env, None)?;
-                        let out = must_value(flow);
-                        m.heap.truncate_roots(base);
-                        return Ok(out);
-                    }
-                }
-                let matches = glob_expand(m, w);
-                if matches.is_empty() {
-                    // No match: the pattern stands for itself, as in
-                    // the Bourne shell.
-                    Ok(value::list_from_strs(&mut m.heap, &[&w.text()]))
-                } else {
-                    let refs: Vec<&str> = matches.iter().map(String::as_str).collect();
-                    Ok(value::list_from_strs(&mut m.heap, &refs))
-                }
+                glob_word(m, w, env)
             } else {
                 Ok(value::list_from_strs(&mut m.heap, &[&w.text()]))
             }
@@ -534,7 +507,7 @@ pub fn eval_expr<O: Os + Clone>(
             Ok(value::list_from_strs(&mut m.heap, &[&format!("$&{name}")]))
         }
         Expr::CmdSub(node) => {
-            let flow = eval_node(m, node, env, None)?;
+            let flow = crate::vm::run_node(m, node, env, None)?;
             Ok(must_value(flow))
         }
         Expr::ClosureLit { bindings, lambda } => {
@@ -547,6 +520,7 @@ pub fn eval_expr<O: Os + Clone>(
             for (name, value_exprs) in bindings {
                 let slot = eval_exprs(m, value_exprs, empty_env, false)?;
                 let value = m.heap.root(slot);
+                m.note_binding(name);
                 let binding = m.heap.alloc_binding(name, value, m.heap.root(chain));
                 m.heap.set_root(chain, binding);
             }
@@ -670,20 +644,29 @@ fn apply_named<O: Os + Clone>(
         }
         _ => {
             // Path search through the (spoofable) %pathsearch hook.
+            // While the hook generation says no `fn-%*` binding has
+            // changed since boot, `fn-%pathsearch` provably still
+            // means the bare primitive: dispatch straight to it.
             let base = m.heap.roots_len();
-            let hook = m.lookup(m.heap.root(env), "fn-%pathsearch");
-            let hook = match hook {
-                Some(h) if !h.is_nil() => h,
-                _ => {
-                    m.heap.truncate_roots(base);
-                    return Err(m.error(&format!("{name}: command not found")));
-                }
+            let flow = if m.hooks_pristine() {
+                let mut b = ListBuilder::new(&mut m.heap);
+                b.push_str(&mut m.heap, name);
+                prims::call(m, "pathsearch", b.head_slot(), env, None)?
+            } else {
+                let hook = m.lookup(m.heap.root(env), "fn-%pathsearch");
+                let hook = match hook {
+                    Some(h) if !h.is_nil() => h,
+                    _ => {
+                        m.heap.truncate_roots(base);
+                        return Err(m.error(&format!("{name}: command not found")));
+                    }
+                };
+                let h_slot = m.heap.push_root(hook);
+                let mut b = ListBuilder::new(&mut m.heap);
+                b.append_slot(&mut m.heap, h_slot);
+                b.push_str(&mut m.heap, name);
+                apply_slot(m, b.head_slot(), env, None)?
             };
-            let h_slot = m.heap.push_root(hook);
-            let mut b = ListBuilder::new(&mut m.heap);
-            b.append_slot(&mut m.heap, h_slot);
-            b.push_str(&mut m.heap, name);
-            let flow = apply_slot(m, b.head_slot(), env, None)?;
             let path_list = must_value(flow);
             let p_slot = m.heap.push_root(path_list);
             let terms = m.terms_at(p_slot);
@@ -787,6 +770,7 @@ fn apply_closure_inner<O: Os + Clone>(
                         }
                     };
                     let v = m.heap.push_root(value);
+                    m.note_binding(p);
                     let b = m.heap.alloc_binding(p, m.heap.root(v), m.heap.root(chain));
                     m.heap.set_root(chain, b);
                 }
@@ -816,7 +800,13 @@ fn apply_closure_inner<O: Os + Clone>(
             }
         }
 
-        let result = eval_node(m, &code.body, chain, Some((tail_clo, tail_args)));
+        let result = match m.opts.engine {
+            Engine::Bytecode => {
+                let compiled = m.code_for(&code);
+                crate::vm::exec(m, &compiled, chain, Some((tail_clo, tail_args)))
+            }
+            Engine::Tree => eval_node(m, &code.body, chain, Some((tail_clo, tail_args))),
+        };
         match result {
             Ok(Flow::Tail) => {
                 // Rebind and iterate: this is the proper-tail-call.
@@ -873,6 +863,47 @@ pub fn run_external<O: Os + Clone>(
 // ---------------------------------------------------------------------------
 // Glob expansion.
 // ---------------------------------------------------------------------------
+
+/// Expands one word with live glob metacharacters to a value list.
+///
+/// The paper's Future Work: "The most notable of [the missing hooks]
+/// is the wildcard expansion". This reproduction exposes it: if
+/// `fn-%glob` is defined, expansion is delegated to it (pattern text
+/// as the argument); otherwise the built-in expansion runs, which
+/// "behaves identically to that in traditional shells". Boot leaves
+/// `fn-%glob` unbound, so while the hook generation says no `fn-%*`
+/// binding has ever changed, the per-word lookup is skipped entirely.
+pub(crate) fn glob_word<O: Os + Clone>(
+    m: &mut Machine<O>,
+    w: &Word,
+    env: RootSlot,
+) -> EsResult<Ref> {
+    if !m.hooks_pristine() {
+        let hook = m.lookup(m.heap.root(env), "fn-%glob");
+        if let Some(h) = hook {
+            if !h.is_nil() {
+                let base = m.heap.roots_len();
+                let h_slot = m.heap.push_root(h);
+                let mut b = ListBuilder::new(&mut m.heap);
+                b.append_slot(&mut m.heap, h_slot);
+                b.push_str(&mut m.heap, &w.text());
+                let flow = apply_slot(m, b.head_slot(), env, None)?;
+                let out = must_value(flow);
+                m.heap.truncate_roots(base);
+                return Ok(out);
+            }
+        }
+    }
+    let matches = glob_expand(m, w);
+    if matches.is_empty() {
+        // No match: the pattern stands for itself, as in the Bourne
+        // shell.
+        Ok(value::list_from_strs(&mut m.heap, &[&w.text()]))
+    } else {
+        let refs: Vec<&str> = matches.iter().map(String::as_str).collect();
+        Ok(value::list_from_strs(&mut m.heap, &refs))
+    }
+}
 
 /// Expands a word with live metacharacters against the filesystem.
 /// `*`/`?` do not match a leading dot unless the pattern component

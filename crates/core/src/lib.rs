@@ -40,6 +40,7 @@
 //! assert_eq!(m.os_mut().take_output(), "1..\n2..\n3..\n");
 //! ```
 
+pub mod compile;
 mod env;
 mod eval;
 mod exception;
@@ -48,6 +49,7 @@ pub mod harness;
 mod machine;
 mod prims;
 mod value;
+mod vm;
 
 #[cfg(test)]
 mod tests;
@@ -55,7 +57,7 @@ mod tests;
 mod tests_prop;
 
 pub use exception::{EsError, EsResult};
-pub use machine::{Machine, Options};
+pub use machine::{Engine, Machine, Options};
 pub use value::Term;
 
 /// The bootstrap script, written in es itself (like the original's

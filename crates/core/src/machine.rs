@@ -15,6 +15,22 @@ use std::rc::Rc;
 /// The interpreter heap: closure payloads are shared lambda ASTs.
 pub type Heap = es_gc::Heap<Rc<Lambda>>;
 
+/// Which evaluator executes closure bodies and top-level code.
+///
+/// Both engines share one semantics (and one test suite — the
+/// conformance scenarios and fuzz corpus run differentially across
+/// them): the tree walker in [`crate::eval`] is the correctness
+/// oracle, the bytecode compiler in [`crate::compile`] +
+/// [`crate::vm`] is the hot path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// Walk the AST directly (the `--engine tree` oracle).
+    Tree,
+    /// Compile to bytecode with inline-cached hook dispatch.
+    #[default]
+    Bytecode,
+}
+
 /// Tunable interpreter behaviour.
 #[derive(Debug, Clone)]
 pub struct Options {
@@ -31,6 +47,9 @@ pub struct Options {
     pub limits: Limits,
     /// Reported by `$&isinteractive`.
     pub interactive: bool,
+    /// The evaluation engine (bytecode by default; `Tree` is the
+    /// oracle behind the shell's `--engine tree` flag).
+    pub engine: Engine,
 }
 
 impl Default for Options {
@@ -39,6 +58,7 @@ impl Default for Options {
             tail_calls: true,
             limits: Limits::default_interpreter(),
             interactive: false,
+            engine: Engine::default(),
         }
     }
 }
@@ -76,6 +96,16 @@ pub struct Machine<O: Os + Clone> {
     bg_pid: i32,
     /// Resource accounting and armed limits (see [`crate::governor`]).
     governor: Governor,
+    /// Hook-generation counter: bumped whenever any `fn-%*` binding is
+    /// created, mutated, or removed (globals, dynamics, lexicals, and
+    /// closure parameters alike). Inline caches key on it.
+    hook_gen: u64,
+    /// The counter's value right after `initial.es` bound the stock
+    /// hooks — while `hook_gen` still equals it, every hook provably
+    /// carries its boot binding (`fn-%pipe = $&pipe`, …).
+    hook_boot_gen: u64,
+    /// Compiled-body cache: lambda tree identity → bytecode.
+    codes: std::collections::HashMap<crate::compile::LambdaKey, Rc<crate::compile::Code>>,
 }
 
 impl<O: Os + Clone> Clone for Machine<O> {
@@ -92,6 +122,9 @@ impl<O: Os + Clone> Clone for Machine<O> {
             max_depth_seen: self.max_depth_seen,
             bg_pid: self.bg_pid,
             governor: self.governor.clone(),
+            hook_gen: self.hook_gen,
+            hook_boot_gen: self.hook_boot_gen,
+            codes: self.codes.clone(),
         }
     }
 }
@@ -119,6 +152,9 @@ impl<O: Os + Clone> Machine<O> {
             max_depth_seen: 0,
             bg_pid: 9000,
             governor,
+            hook_gen: 0,
+            hook_boot_gen: 0,
+            codes: std::collections::HashMap::new(),
         };
         m.fds.insert(0, es_os::STDIN);
         m.fds.insert(1, es_os::STDOUT);
@@ -129,6 +165,10 @@ impl<O: Os + Clone> Machine<O> {
         m.set_global_strs("pid", &[&pid]);
         m.run_text(crate::INITIAL_ES)
             .map_err(|e| m.render_boot_error(e))?;
+        // Hooks are now exactly their boot bindings; anything later —
+        // including a `fn-%*` closure inherited through the
+        // environment import below — dirties the generation.
+        m.hook_boot_gen = m.hook_gen;
         env::import_environment(&mut m)?;
         Ok(m)
     }
@@ -195,6 +235,49 @@ impl<O: Os + Clone> Machine<O> {
         Ok(())
     }
 
+    // ----- hook generation -----------------------------------------------------
+
+    /// Records that a binding named `name` was created, mutated, or
+    /// removed. Every binding site funnels through this (or calls it
+    /// alongside) so `fn-%*` changes can never escape the counter.
+    #[inline]
+    pub fn note_binding(&mut self, name: &str) {
+        if name.starts_with("fn-%") {
+            self.hook_gen += 1;
+        }
+    }
+
+    /// The current hook generation (inline-cache key).
+    #[inline]
+    pub fn hook_gen(&self) -> u64 {
+        self.hook_gen
+    }
+
+    /// True while no `fn-%*` binding has changed since boot — the
+    /// state in which every hook provably still means its primitive
+    /// and dispatch may skip the environment lookup entirely.
+    #[inline]
+    pub fn hooks_pristine(&self) -> bool {
+        self.hook_gen == self.hook_boot_gen
+    }
+
+    /// The compiled bytecode for a closure body, compiling and caching
+    /// on first call (keyed by tree identity, so closures reparsed
+    /// from the environment share code with their originals).
+    pub fn code_for(&mut self, lambda: &Rc<Lambda>) -> Rc<crate::compile::Code> {
+        let key = crate::compile::LambdaKey(Rc::clone(lambda));
+        if let Some(code) = self.codes.get(&key) {
+            return Rc::clone(code);
+        }
+        // Bound: fuzzed sessions can mint unbounded distinct lambdas.
+        if self.codes.len() >= 4096 {
+            self.codes.clear();
+        }
+        let code = Rc::new(crate::compile::compile_lambda(lambda));
+        self.codes.insert(key, Rc::clone(&code));
+        code
+    }
+
     // ----- running code --------------------------------------------------------
 
     /// Parses, lowers, and evaluates `src` in the global scope,
@@ -212,7 +295,7 @@ impl<O: Os + Clone> Machine<O> {
         };
         let base = self.heap.roots_len();
         let env = self.heap.push_root(Ref::NIL);
-        let result = eval::eval_node(self, &node, env, None);
+        let result = crate::vm::run_node(self, &node, env, None);
         let out = match result {
             Ok(flow) => Ok(eval::must_value(flow)),
             Err(e) => Err(e),
@@ -315,6 +398,7 @@ impl<O: Os + Clone> Machine<O> {
     /// Settor dispatch (`set-name`) is the *evaluator's* job, because
     /// it must run es code; this method is the raw store.
     pub fn assign_raw(&mut self, env: Ref, name: &str, value: Ref) {
+        self.note_binding(name);
         let mut cur = env;
         while !cur.is_nil() {
             let (bname, _, next) = self.heap.binding_parts(cur);
@@ -371,6 +455,7 @@ impl<O: Os + Clone> Machine<O> {
     /// Pushes a dynamic binding (used by `local`); pop with
     /// [`Machine::pop_dynamics`].
     pub fn push_dynamic(&mut self, name: &str, value: Ref) {
+        self.note_binding(name);
         let slot = self.heap.push_root(value);
         self.dynamics.push((name.to_string(), slot));
     }

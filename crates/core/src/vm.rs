@@ -1,0 +1,276 @@
+//! The bytecode dispatch loop.
+//!
+//! Executes the op sequences produced by [`crate::compile`] under
+//! exactly the tree walker's semantics: same governor charges, same
+//! root-scope discipline, same tail-call plumbing. Each op either has
+//! a specialised fast path here (calls, `let`/`local`/`for`, slot
+//! variable references, inline-cached hook dispatch) or delegates to
+//! [`crate::eval`] — cold statements share the walker's one
+//! implementation, so the engines cannot drift on them.
+
+use crate::compile::{self, ArgC, BindName, Code, Op};
+use crate::eval::{self, must_value, Flow, TailSlots};
+use crate::exception::{EsError, EsResult};
+use crate::machine::{Engine, Machine};
+use crate::prims;
+use crate::value::{self, ListBuilder};
+use es_gc::{Obj, Ref, RootSlot};
+use es_os::Os;
+use es_syntax::ast::Node;
+use std::rc::Rc;
+
+/// Evaluates a free-standing node under the selected engine. This is
+/// the seam every entry point goes through (`run_text`, `eval`, `.`,
+/// command substitution); closure bodies instead go through
+/// [`crate::Machine::code_for`] + [`exec`] to hit the code cache.
+pub fn run_node<O: Os + Clone>(
+    m: &mut Machine<O>,
+    node: &Node,
+    env: RootSlot,
+    tail: Option<TailSlots>,
+) -> EsResult<Flow> {
+    match m.opts.engine {
+        Engine::Tree => eval::eval_node(m, node, env, tail),
+        Engine::Bytecode => {
+            let code = compile::compile_node(node);
+            exec(m, &code, env, tail)
+        }
+    }
+}
+
+/// Runs a compiled statement sequence. Mirrors `Node::Seq`: tail goes
+/// only to the last op, earlier results are discarded, and an empty
+/// sequence yields the empty list.
+pub fn exec<O: Os + Clone>(
+    m: &mut Machine<O>,
+    code: &Code,
+    env: RootSlot,
+    tail: Option<TailSlots>,
+) -> EsResult<Flow> {
+    let mut last = Flow::Val(Ref::NIL);
+    for (i, op) in code.ops.iter().enumerate() {
+        let is_last = i + 1 == code.ops.len();
+        let op_tail = if is_last { tail } else { None };
+        let flow = exec_op(m, op, env, op_tail)?;
+        if is_last {
+            last = flow;
+        } else {
+            let _ = must_value(flow);
+        }
+    }
+    Ok(last)
+}
+
+fn exec_op<O: Os + Clone>(
+    m: &mut Machine<O>,
+    op: &Op,
+    env: RootSlot,
+    tail: Option<TailSlots>,
+) -> EsResult<Flow> {
+    match op {
+        Op::Call { args, hook } => {
+            crate::governor::charge(m)?;
+            let base = m.heap.roots_len();
+            let list = eval_args(m, args, env)?;
+            let flow = match hook {
+                Some(h) => {
+                    // Checked only after the arguments ran: a command
+                    // substitution among them may have respoofed the
+                    // hook this very call depends on.
+                    let gen = m.hook_gen();
+                    if h.ic.get() == gen || m.hooks_pristine() {
+                        h.ic.set(gen);
+                        prims::call(m, h.prim, list, env, tail)?
+                    } else {
+                        // Slow path: reconstruct the call the tree
+                        // walker would have built, head word included,
+                        // and let the full lookup machinery run.
+                        let mut b = ListBuilder::new(&mut m.heap);
+                        b.push_str(&mut m.heap, &h.name);
+                        b.append_slot(&mut m.heap, list);
+                        eval::apply_slot(m, b.head_slot(), env, tail)?
+                    }
+                }
+                None => eval::apply_slot(m, list, env, tail)?,
+            };
+            Ok(eval::pop_scope(m, base, flow))
+        }
+        Op::Let { bindings, body } => {
+            let base = m.heap.roots_len();
+            let chain = m.heap.push_root(m.heap.root(env));
+            for (name_c, value_args) in bindings {
+                let name = bind_name(m, name_c, chain)?;
+                let inner = m.heap.roots_len();
+                let value_slot = eval_args(m, value_args, chain)?;
+                let value = m.heap.root(value_slot);
+                m.note_binding(&name);
+                let binding = m.heap.alloc_binding(&name, value, m.heap.root(chain));
+                m.heap.set_root(chain, binding);
+                m.heap.truncate_roots(inner);
+            }
+            let flow = exec(m, body, chain, tail)?;
+            Ok(eval::pop_scope(m, base, flow))
+        }
+        Op::Local { bindings, body } => {
+            let base = m.heap.roots_len();
+            let dyn_base = m.dynamics_len();
+            let mut staged: Vec<(String, RootSlot)> = Vec::new();
+            for (name_c, value_args) in bindings {
+                let name = bind_name(m, name_c, env)?;
+                let value_slot = eval_args(m, value_args, env)?;
+                staged.push((name, value_slot));
+            }
+            for (name, slot) in &staged {
+                let transformed = eval::run_settor(m, env, name, *slot)?;
+                m.push_dynamic(name, transformed);
+            }
+            let result = exec(m, body, env, None);
+            m.pop_dynamics(dyn_base);
+            let flow = result?;
+            let out = must_value(flow);
+            Ok(eval::pop_scope(m, base, Flow::Val(out)))
+        }
+        Op::For { bindings, body } => {
+            let base = m.heap.roots_len();
+            let mut lists: Vec<(String, RootSlot)> = Vec::new();
+            for (name_c, value_args) in bindings {
+                let name = bind_name(m, name_c, env)?;
+                let slot = eval_args(m, value_args, env)?;
+                lists.push((name, slot));
+            }
+            let n = lists
+                .iter()
+                .map(|(_, s)| value::list_len(&m.heap, m.heap.root(*s)))
+                .max()
+                .unwrap_or(0);
+            let result_slot = m.heap.push_root(Ref::NIL);
+            for i in 1..=n {
+                crate::governor::charge(m)?;
+                let iter_base = m.heap.roots_len();
+                let chain = m.heap.push_root(m.heap.root(env));
+                for (name, slot) in &lists {
+                    let value = match value::list_nth(&m.heap, m.heap.root(*slot), i) {
+                        Some(term) => {
+                            let t = m.heap.push_root(term);
+                            m.heap.alloc_pair(m.heap.root(t), Ref::NIL)
+                        }
+                        None => Ref::NIL,
+                    };
+                    let v = m.heap.push_root(value);
+                    m.note_binding(name);
+                    let binding = m.heap.alloc_binding(name, m.heap.root(v), m.heap.root(chain));
+                    m.heap.set_root(chain, binding);
+                }
+                match exec(m, body, chain, None) {
+                    Ok(flow) => {
+                        let v = must_value(flow);
+                        m.heap.truncate_roots(iter_base);
+                        m.heap.set_root(result_slot, v);
+                    }
+                    Err(EsError::Throw(e)) if eval::throw_is(m, e, "break") => {
+                        let v = m.heap.pair_tail(e);
+                        m.heap.truncate_roots(iter_base);
+                        m.heap.set_root(result_slot, v);
+                        break;
+                    }
+                    Err(other) => {
+                        m.heap.truncate_roots(iter_base);
+                        return Err(other);
+                    }
+                }
+            }
+            let out = m.heap.root(result_slot);
+            Ok(eval::pop_scope(m, base, Flow::Val(out)))
+        }
+        // Cold statements: one shared implementation. The tail rides
+        // through, as `Node::Seq` hands its own tail to a last node of
+        // any kind.
+        Op::Node(node) => eval::eval_node(m, node, env, tail),
+    }
+}
+
+/// Resolves a `let`/`local`/`for` binding name.
+fn bind_name<O: Os + Clone>(
+    m: &mut Machine<O>,
+    name: &BindName,
+    env: RootSlot,
+) -> EsResult<String> {
+    match name {
+        BindName::Static(s) => Ok(s.clone()),
+        BindName::Dyn(e) => eval::single_name(m, e, env),
+    }
+}
+
+/// Evaluates a compiled argument vector, splicing results into one
+/// rooted list (the VM's `eval_exprs`). Returns the slot holding it,
+/// inside the caller's scope.
+fn eval_args<O: Os + Clone>(
+    m: &mut Machine<O>,
+    args: &[ArgC],
+    env: RootSlot,
+) -> EsResult<RootSlot> {
+    let mut b = ListBuilder::new(&mut m.heap);
+    for a in args {
+        match a {
+            ArgC::Word(s) => b.push_str(&mut m.heap, s),
+            ArgC::Glob(w) => {
+                let inner = m.heap.roots_len();
+                let list = eval::glob_word(m, w, env)?;
+                let slot = m.heap.push_root(list);
+                b.append_slot(&mut m.heap, slot);
+                m.heap.truncate_roots(inner);
+            }
+            ArgC::Slot { hops, name } => {
+                let value = match slot_value(m, env, *hops, name) {
+                    Some(v) => Some(v),
+                    // The chain disagreed with the compile-time model
+                    // (it never should; belt and braces): full lookup.
+                    None => m.lookup(m.heap.root(env), name),
+                };
+                if let Some(v) = value {
+                    let slot = m.heap.push_root(v);
+                    b.append_slot(&mut m.heap, slot);
+                    m.heap.truncate_roots(slot.index());
+                }
+            }
+            ArgC::Lambda(code) => {
+                let env_ref = m.heap.root(env);
+                let clo = m.heap.alloc_closure(Rc::clone(code), env_ref);
+                let c = m.heap.push_root(clo);
+                let term = m.heap.root(c);
+                b.push(&mut m.heap, term);
+                m.heap.truncate_roots(c.index());
+            }
+            ArgC::Expr { expr, glob } => {
+                let inner = m.heap.roots_len();
+                let list = eval::eval_expr(m, expr, env, *glob)?;
+                let slot = m.heap.push_root(list);
+                b.append_slot(&mut m.heap, slot);
+                m.heap.truncate_roots(inner);
+            }
+        }
+    }
+    Ok(b.head_slot())
+}
+
+/// The slot fast path: the value sits `hops` binding frames into the
+/// chain. The frame's name is verified before trusting it; any
+/// disagreement returns `None` and the caller falls back to a lookup.
+fn slot_value<O: Os + Clone>(
+    m: &Machine<O>,
+    env: RootSlot,
+    hops: usize,
+    name: &str,
+) -> Option<Ref> {
+    let mut cur = m.heap.root(env);
+    for _ in 0..hops {
+        match m.heap.get(cur) {
+            Obj::Binding(_, _, next) => cur = *next,
+            _ => return None,
+        }
+    }
+    match m.heap.get(cur) {
+        Obj::Binding(n, v, _) if &**n == name => Some(*v),
+        _ => None,
+    }
+}

@@ -9,8 +9,8 @@
 //! Two profiles:
 //!
 //! * [`Profile::Full`] — everything the simulator supports, including
-//!   constructs whose output is intentionally not GNU-identical
-//!   (`wc`, `uniq -c`). Driven against `SimOs` only, where the
+//!   simulator-flavoured filters not exercised differentially
+//!   (`tac`, `nl`). Driven against `SimOs` only, where the
 //!   invariants are panic-freedom, no descriptor leaks, and
 //!   byte-identical replay per seed (with FaultPlan weather on a
 //!   third of the seeds).
@@ -41,18 +41,21 @@ const WORDS: &[&str] = &[
     "alpha", "bravo", "cedar", "delta", "ember", "frond", "gleam", "haze",
 ];
 
-/// Filters safe on either backend (verified byte-identical).
+/// Filters safe on either backend (verified byte-identical —
+/// `wc`/`uniq -c` joined the pool once the sim adopted GNU's exact
+/// count-column formats).
 const SAFE_FILTERS: &[&str] = &[
     "tr a-z A-Z",
     "sort",
     "sort -r",
     "uniq",
+    "uniq -c",
+    "wc -l",
     "cat",
 ];
 
-/// Extra filters for the Full profile (formats intentionally not
-/// GNU-identical, or simulator-flavoured).
-const FULL_FILTERS: &[&str] = &["wc -l", "uniq -c", "tac", "nl"];
+/// Extra filters for the Full profile (simulator-flavoured).
+const FULL_FILTERS: &[&str] = &["tac", "nl"];
 
 struct Gen<'a> {
     rng: &'a mut Rng,
@@ -147,8 +150,13 @@ impl<'a> Gen<'a> {
                         self.files.push(f);
                     }
                     1 => {
-                        let f = if self.rng.bool() && !self.files.is_empty() {
-                            self.existing_file()
+                        // Appends never target the seeded corpus files
+                        // (s1/s2): comm requires them sorted, and GNU
+                        // comm diagnoses disorder while the sim's does
+                        // not.
+                        let f = if self.rng.bool() && self.files.len() > 2 {
+                            let i = 2 + self.rng.below((self.files.len() - 2) as u64) as usize;
+                            self.files[i].clone()
                         } else {
                             let f = self.fresh_file();
                             self.files.push(f.clone());

@@ -80,23 +80,12 @@ pub struct LedgerEntry {
     pub reason: &'static str,
 }
 
-/// The divergence ledger. Kept deliberately tiny: everything else the
-/// oracle observes must be byte-identical across backends.
-pub const LEDGER: &[LedgerEntry] = &[
-    LedgerEntry {
-        scenario: "wc-count-padding",
-        field: Field::Stdout,
-        reason: "the simulated wc always pads counts to 7 columns (matching \
-                 wc's multi-file layout); GNU wc prints a bare count for a \
-                 single stdin stream",
-    },
-    LedgerEntry {
-        scenario: "uniq-c-padding",
-        field: Field::Stdout,
-        reason: "the simulated uniq -c pads counts to 4 columns; GNU uniq \
-                 uses a 7-column field",
-    },
-];
+/// The divergence ledger. Empty: everything the oracle observes must
+/// be byte-identical across backends. (The two historical entries —
+/// sim `wc` count padding and sim `uniq -c` column width — were real
+/// sim bugs, fixed in `es-os::programs::text` to match GNU output
+/// byte-for-byte.)
+pub const LEDGER: &[LedgerEntry] = &[];
 
 /// Returns the ledger entry covering a divergence, if any.
 pub fn ledger_entry(scenario: &str, field: Field) -> Option<&'static LedgerEntry> {
@@ -411,9 +400,21 @@ pub const SCENARIOS: &[Scenario] = &[
         ],
         &["test"],
     ),
-    // Ledgered divergences — these run on both backends and are
-    // *expected* to disagree on stdout (see LEDGER).
+    // Formerly ledgered divergences — sim wc/uniq now match GNU
+    // byte-for-byte, so these are true differential scenarios.
     both("wc-count-padding", &["seq 5 | wc -l"], &["seq", "wc"]),
+    both(
+        "wc-count-width",
+        &[
+            "seq 5 > f5",
+            "echo a b c > u3",
+            "wc -l f5",
+            "wc f5",
+            "wc -l f5 u3",
+            "seq 9 | wc",
+        ],
+        &["seq", "wc"],
+    ),
     both(
         "uniq-c-padding",
         &[

@@ -241,8 +241,9 @@ fn uniq(ctx: &mut ProcCtx) -> i32 {
     let flush = |run: &mut Option<(String, usize)>, out: &mut String| {
         if let Some((line, n)) = run.take() {
             if count {
-                // Classic uniq -c right-aligns the count in 4 columns.
-                out.push_str(&format!("{n:4} {line}\n"));
+                // GNU uniq -c right-aligns the count in 7 columns
+                // (`%7d `), growing only for counts past 9,999,999.
+                out.push_str(&format!("{n:7} {line}\n"));
             } else {
                 out.push_str(&line);
                 out.push('\n');
@@ -279,21 +280,24 @@ fn wc(ctx: &mut ProcCtx) -> i32 {
     if show == (false, false, false) {
         show = (true, true, true);
     }
-    let fmt = |show: (bool, bool, bool), l: usize, w: usize, c: usize, name: &str| {
+    let fmt = |show: (bool, bool, bool), width: usize, l: usize, w: usize, c: usize, name: &str| {
         let mut parts = Vec::new();
         if show.0 {
-            parts.push(format!("{l:7}"));
+            parts.push(format!("{l:width$}"));
         }
         if show.1 {
-            parts.push(format!("{w:7}"));
+            parts.push(format!("{w:width$}"));
         }
         if show.2 {
-            parts.push(format!("{c:7}"));
+            parts.push(format!("{c:width$}"));
         }
+        let mut line = parts.join(" ");
         if !name.is_empty() {
-            parts.push(format!(" {name}"));
+            line.push(' ');
+            line.push_str(name);
         }
-        parts.join("") + "\n"
+        line.push('\n');
+        line
     };
     let count = |data: &[u8]| {
         let text = String::from_utf8_lossy(data);
@@ -301,28 +305,40 @@ fn wc(ctx: &mut ProcCtx) -> i32 {
         let w = text.split_whitespace().count();
         (l, w, data.len())
     };
+    let one_count = [show.0, show.1, show.2].iter().filter(|b| **b).count() == 1;
     if inputs.is_empty() {
+        // GNU: a single count from an unstatable stdin prints bare;
+        // multiple counts pad to the stdin default of 7 columns.
         let data = ctx.stdin_all();
         let (l, w, c) = count(&data);
-        let line = fmt(show, l, w, c, "");
+        let width = if one_count { 1 } else { 7 };
+        let line = fmt(show, width, l, w, c, "");
         ctx.out(&line);
         return 0;
     }
-    let mut totals = (0, 0, 0);
-    let many = inputs.len() > 1;
+    // Read every input up front: GNU sizes the count columns to the
+    // digits of the total byte count across all named files.
+    let mut counted = Vec::new();
     for path in &inputs {
         match ctx.read_file(path) {
-            Ok(data) => {
-                let (l, w, c) = count(&data);
-                totals = (totals.0 + l, totals.1 + w, totals.2 + c);
-                let line = fmt(show, l, w, c, path);
-                ctx.out(&line);
-            }
+            Ok(data) => counted.push((count(&data), path)),
             Err(e) => return ctx.fail(&e.to_string()),
         }
     }
-    if many {
-        let line = fmt(show, totals.0, totals.1, totals.2, "total");
+    let total_bytes: usize = counted.iter().map(|((_, _, c), _)| c).sum();
+    let width = if one_count && inputs.len() == 1 {
+        1
+    } else {
+        total_bytes.to_string().len()
+    };
+    let mut totals = (0, 0, 0);
+    for ((l, w, c), path) in &counted {
+        totals = (totals.0 + l, totals.1 + w, totals.2 + c);
+        let line = fmt(show, width, *l, *w, *c, path);
+        ctx.out(&line);
+    }
+    if inputs.len() > 1 {
+        let line = fmt(show, width, totals.0, totals.1, totals.2, "total");
         ctx.out(&line);
     }
     0

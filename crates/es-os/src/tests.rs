@@ -219,18 +219,28 @@ fn sort_plain_numeric_reverse_unique() {
 fn uniq_counts_adjacent_runs() {
     let mut os = SimOs::new();
     assert_eq!(run_prog(&mut os, "uniq", &[], "a\na\nb\na\n").1, "a\nb\na\n");
+    // GNU format: `%7d ` count column.
     let (_, out) = run_prog(&mut os, "uniq", &["-c"], "x\nx\ny\n");
-    assert_eq!(out, "   2 x\n   1 y\n");
+    assert_eq!(out, "      2 x\n      1 y\n");
 }
 
 #[test]
 fn wc_counts() {
     let mut os = SimOs::new();
+    // GNU pads stdin counts to 7 columns, space separated...
     let (_, out) = run_prog(&mut os, "wc", &[], "one two\nthree\n");
-    let nums: Vec<&str> = out.split_whitespace().collect();
-    assert_eq!(nums, ["2", "3", "14"]);
+    assert_eq!(out, "      2       3      14\n");
+    // ...but a single count type prints bare.
     let (_, out) = run_prog(&mut os, "wc", &["-l"], "a\nb\n");
-    assert_eq!(out.trim(), "2");
+    assert_eq!(out, "2\n");
+    // Named files size the column to the digits of the total byte
+    // count (here 10 + 6 = 16 bytes → width 2).
+    os.vfs_mut().put_file("/tmp/f5", b"1\n2\n3\n4\n5\n").unwrap();
+    os.vfs_mut().put_file("/tmp/u3", b"a\nb\nc\n").unwrap();
+    let (_, out) = run_prog(&mut os, "wc", &["-l", "/tmp/f5", "/tmp/u3"], "");
+    assert_eq!(out, " 5 /tmp/f5\n 3 /tmp/u3\n 8 total\n");
+    let (_, out) = run_prog(&mut os, "wc", &["/tmp/f5"], "");
+    assert_eq!(out, " 5  5 10 /tmp/f5\n");
 }
 
 #[test]

@@ -10,7 +10,7 @@ use std::rc::Rc;
 
 /// One quoting segment of a word: `quoted` text contributes no live
 /// glob metacharacters and never triggers expansion.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Seg {
     /// The literal text.
     pub text: String,
@@ -19,7 +19,7 @@ pub struct Seg {
 }
 
 /// A (possibly partially quoted) word.
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
 pub struct Word {
     /// The quoting segments, in order.
     pub segs: Vec<Seg>,
@@ -71,7 +71,7 @@ impl Word {
 /// arguments are available only as `$*`. Named parameters bind
 /// one-to-one with leftovers going to the last parameter (and `$*`
 /// always holds the full argument list).
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Lambda {
     /// Named parameters, or `None` for `@ *`.
     pub params: Option<Vec<String>>,
@@ -80,7 +80,7 @@ pub struct Lambda {
 }
 
 /// An expression: evaluates to a *list* of terms (strings/closures).
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Expr {
     /// A literal word; unquoted metacharacters glob in argument
     /// position.
@@ -119,7 +119,7 @@ pub enum Expr {
 }
 
 /// A redirection as parsed (surface only).
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Redirect {
     /// `>[fd] file` — `%create fd file {cmd}`.
     Create(u32, Expr),
@@ -136,7 +136,7 @@ pub enum Redirect {
 }
 
 /// A command node.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Node {
     /// Core: evaluate the expressions to one list and apply it as a
     /// command (head closure/function/program, rest arguments).

@@ -35,11 +35,8 @@ fn a_working_day_in_es() {
         "rm *.txt",
         "count-files",
     ]);
-    assert_eq!(
-        out,
-        format!("alpha\nbeta\ngamma\n{:7}\n{:7}\n", 2, 0),
-        "stderr: {err}"
-    );
+    // `wc -l` on stdin prints the bare count, as GNU wc does.
+    assert_eq!(out, "alpha\nbeta\ngamma\n2\n0\n", "stderr: {err}");
 }
 
 #[test]
@@ -78,7 +75,7 @@ fn remote_pipe_spoof_concept() {
         }",
         "echo data | cat | wc -l",
     ]);
-    assert_eq!(out, format!("{:7}\n", 1));
+    assert_eq!(out, "1\n");
     assert!(err.contains("dispatching stage to alpha"), "{err}");
     assert!(err.contains("dispatching stage to beta"), "{err}");
     assert!(err.contains("dispatching stage to gamma"), "{err}");
