@@ -1,9 +1,9 @@
 # Convenience targets for the es reproduction. `just` is not installed
 # in the build image, so plain make it is.
 
-.PHONY: all build test conform fuzz soak soak-limits lint bench bench-eval clean
+.PHONY: all build test conform fuzz soak soak-limits serve-soak lint bench bench-eval bench-serve clean
 
-all: build test conform fuzz lint
+all: build test conform fuzz serve-soak lint
 
 build:
 	cargo build --release
@@ -42,6 +42,17 @@ soak-limits:
 	cargo test -p es-core -q soak_limits -- --nocapture
 	cargo bench -p es-bench --bench e11_governor
 
+# E14 — serving soak: seeded 10k-session runs through the session
+# server with fault weather, tight budgets, injected panics, and
+# admission churn; asserts zero escaped panics, zero reset-oracle
+# violations, shedding engaged, and byte-identical event-log replay
+# per seed.
+SERVE_SESSIONS ?= 10000
+SERVE_SEEDS ?= 2
+serve-soak:
+	SERVE_SESSIONS=$(SERVE_SESSIONS) SERVE_SEEDS=$(SERVE_SEEDS) \
+		cargo test -p es-serve --release --test soak -q -- --nocapture
+
 # The whole workspace must be clippy-clean.
 lint:
 	cargo clippy --workspace --all-targets -- -D warnings
@@ -56,6 +67,12 @@ bench:
 bench-eval:
 	cargo bench -p es-bench --bench e7_hook_ablation
 	cargo bench -p es-bench --bench e13_engine
+
+# E14 — serving benches: cold-boot vs recycle slot turnover,
+# sessions/sec, and p50/p99 per-command latency through the server at
+# 1k and 10k sessions; writes BENCH_serve.json at the repo root.
+bench-serve:
+	cargo bench -p es-bench --bench e14_serve
 
 clean:
 	cargo clean

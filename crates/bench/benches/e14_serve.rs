@@ -1,0 +1,133 @@
+//! E14 — the session server (EXPERIMENTS.md §E14).
+//!
+//! Three questions, one number each:
+//!
+//! * **Slot turnover**: what does admitting a tenant cost — a cold
+//!   `Machine` boot (parse + run initial.es, build the kernel) versus
+//!   `recycle()` restoring the frozen boot image of a dirtied machine?
+//!   The pool's economics rest on this ratio.
+//! * **Throughput**: sessions/sec through a full `Server` — framed
+//!   open/line/close, baton-scheduled slices, reset audit on every
+//!   release — at 1k and 10k sequential sessions.
+//! * **Tail latency**: p50/p99 of per-command completion (Line fed →
+//!   Done emitted) under the same drive.
+//!
+//! The criterion shim reports only to stderr, so this is a plain
+//! `harness = false` main writing `BENCH_serve.json` at the repo root.
+
+use es_core::Machine;
+use es_os::SimOs;
+use es_serve::{Frame, ServeConfig, Server};
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Commands each benchmark session runs (ordinary small work: a
+/// variable, a pipe, a redirection).
+const SESSION_CMDS: &[&str] = &[
+    "x = a b c; echo $x(2)",
+    "echo bench | wc -l",
+    "echo kept > /tmp/b; cat /tmp/b",
+];
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+/// ns per cold Machine boot.
+fn bench_cold_boot(iters: u32) -> u64 {
+    let started = Instant::now();
+    for _ in 0..iters {
+        let m = Machine::new(SimOs::new()).expect("machine boots");
+        std::hint::black_box(&m);
+    }
+    started.elapsed().as_nanos() as u64 / u64::from(iters)
+}
+
+/// ns per dirty-then-recycle cycle (the dirtying commands are timed
+/// too, so this *overstates* recycle cost — the ratio is conservative).
+fn bench_recycle(iters: u32) -> u64 {
+    let mut m = Machine::new(SimOs::new()).expect("machine boots");
+    let started = Instant::now();
+    for _ in 0..iters {
+        m.run("x = dirty; echo leak > /tmp/leak").expect("dirtying runs");
+        assert!(m.recycle());
+    }
+    started.elapsed().as_nanos() as u64 / u64::from(iters)
+}
+
+/// Drives `sessions` sequential sessions through one server; returns
+/// (sessions/sec, sorted per-command latencies ns).
+fn bench_serve(sessions: u64) -> (u64, Vec<u64>) {
+    let mut server = Server::new(ServeConfig {
+        capacity: 4,
+        high_water: 4,
+        ..ServeConfig::default()
+    });
+    let mut lat = Vec::with_capacity((sessions as usize) * SESSION_CMDS.len());
+    let started = Instant::now();
+    for _ in 0..sessions {
+        let resp = server.feed(Frame::Open {
+            limits: vec![],
+            fault_seed: None,
+        });
+        let sid = match resp.first() {
+            Some(Frame::Opened { sid }) => *sid,
+            other => panic!("bench session not admitted: {other:?}"),
+        };
+        for cmd in SESSION_CMDS {
+            let t0 = Instant::now();
+            server.feed(Frame::Line {
+                sid,
+                cmd: (*cmd).to_string(),
+            });
+            'done: loop {
+                for f in server.pump(1_000) {
+                    if matches!(f, Frame::Done { .. }) {
+                        break 'done;
+                    }
+                }
+            }
+            lat.push(t0.elapsed().as_nanos() as u64);
+        }
+        server.feed(Frame::Close { sid });
+    }
+    let secs = started.elapsed().as_secs_f64();
+    let stats = server.stats();
+    assert_eq!(stats.oracle_violations, 0, "bench sessions leaked state");
+    lat.sort_unstable();
+    ((sessions as f64 / secs) as u64, lat)
+}
+
+fn main() {
+    let mut fields: Vec<(String, u64)> = Vec::new();
+
+    let cold = bench_cold_boot(200);
+    let recycle = bench_recycle(2000);
+    fields.push(("cold_boot_ns".into(), cold));
+    fields.push(("recycle_ns".into(), recycle));
+    fields.push(("recycle_speedup_x".into(), cold / recycle.max(1)));
+
+    for sessions in [1_000u64, 10_000] {
+        let (per_sec, lat) = bench_serve(sessions);
+        let k = sessions / 1_000;
+        fields.push((format!("serve_sessions_per_sec_{k}k"), per_sec));
+        fields.push((format!("serve_cmd_p50_ns_{k}k"), percentile(&lat, 0.50)));
+        fields.push((format!("serve_cmd_p99_ns_{k}k"), percentile(&lat, 0.99)));
+    }
+
+    let mut json = String::from("{\n");
+    for (i, (key, value)) in fields.iter().enumerate() {
+        let comma = if i + 1 == fields.len() { "" } else { "," };
+        json.push_str(&format!("  \"{key}\": {value}{comma}\n"));
+        eprintln!("{key:32} {value:>12}");
+    }
+    json.push_str("}\n");
+
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_serve.json");
+    std::fs::write(&path, json).expect("BENCH_serve.json writes");
+    eprintln!("wrote {}", path.display());
+}

@@ -21,7 +21,7 @@
 //! long-running scripts get advance notice before the exception fires.
 
 use crate::exception::{EsError, EsResult};
-use crate::machine::Machine;
+use crate::machine::{Machine, YieldAction};
 use es_os::{Os, Signal};
 
 /// Virtual nanoseconds charged to the clock per eval step, so the
@@ -29,6 +29,13 @@ use es_os::{Os, Signal};
 /// Real kernels advance their own clock ([`Os::advance_ns`] is a
 /// no-op there); the simulator's is driven entirely by charges.
 pub const EVAL_STEP_NS: u64 = 100;
+
+/// The exit status a cancelled machine unwinds with when its
+/// [`crate::Yield`] hook returns [`YieldAction::Cancel`]. Deliberately
+/// the timeout convention (124); schedulers must not classify by this
+/// number alone — tenant code can `exit 124` too — but by whether they
+/// themselves requested the cancel.
+pub const CANCEL_EXIT: i32 = 124;
 
 /// The six governed resources.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -269,7 +276,17 @@ pub fn breach<O: Os + Clone>(m: &mut Machine<O>, kind: Kind, used: u64, max: u64
     m.exception(&["limit", kind.name(), &used.to_string(), &max.to_string()])
 }
 
-/// Writes the one-shot 90% warning for `kind` to fd 2 if it is due.
+/// Writes the one-shot 90% warning for `kind` to the *owning
+/// session's* standard-error stream if it is due.
+///
+/// The warning goes straight to the kernel console descriptor
+/// ([`es_os::STDERR`]), not through shell fd 2: a tenant that
+/// redirected fd 2 into a file — or a serving slot whose fd table is
+/// mid-recycle — still gets the warning on its own stderr stream, and
+/// it can never interleave into another session's output because each
+/// pooled session owns its kernel. Bypassing [`Machine::write_fd`]
+/// also keeps shell-generated warnings from counting against the
+/// tenant's own output quota.
 pub fn soft_warn<O: Os + Clone>(m: &mut Machine<O>, kind: Kind, used: u64, max: u64) {
     if m.governor().warned & kind.bit() != 0 {
         return;
@@ -280,7 +297,7 @@ pub fn soft_warn<O: Os + Clone>(m: &mut Machine<O>, kind: Kind, used: u64, max: 
     }
     m.governor_mut().warned |= kind.bit();
     let msg = format!("es: warning: {} limit at {}/{} (90%)\n", kind.name(), used, max);
-    let _ = m.write_fd(2, msg.as_bytes());
+    let _ = es_os::write_fully(m.os_mut(), es_os::STDERR, msg.as_bytes());
 }
 
 /// The interpreter's per-step accounting choke point: advances the
@@ -289,6 +306,16 @@ pub fn soft_warn<O: Os + Clone>(m: &mut Machine<O>, kind: Kind, used: u64, max: 
 /// command dispatch and at the top of each loop iteration — points
 /// where all live refs are rooted, so the heap check may collect.
 pub fn charge<O: Os + Clone>(m: &mut Machine<O>) -> EsResult<()> {
+    // Cooperative yield first: when a scheduler owns this machine the
+    // tick may park the thread until the next timeslice is granted.
+    // Ticking before the clock advance keeps slice accounting in
+    // steps, so a yielded machine's virtual time is unaffected by how
+    // long it sat parked.
+    if let Some(y) = m.yielder() {
+        if y.tick() == YieldAction::Cancel {
+            return Err(EsError::Exit(CANCEL_EXIT));
+        }
+    }
     m.os_mut().advance_ns(EVAL_STEP_NS);
     if let Some(sig) = m.os_mut().take_signal() {
         return Err(signal_error(m, sig));

@@ -57,7 +57,7 @@ mod tests;
 mod tests_prop;
 
 pub use exception::{EsError, EsResult};
-pub use machine::{Engine, Machine, Options};
+pub use machine::{Engine, Machine, Options, Yield, YieldAction};
 pub use value::Term;
 
 /// The bootstrap script, written in es itself (like the original's

@@ -63,6 +63,33 @@ impl Default for Options {
     }
 }
 
+/// What a [`Yield`] hook tells the interpreter to do at a charge
+/// point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum YieldAction {
+    /// Keep running (possibly after having blocked for a while — the
+    /// hook is allowed to park the calling thread until a scheduler
+    /// grants another timeslice).
+    Run,
+    /// Stop this machine now. The interpreter unwinds with the
+    /// *uncatchable* `EsError::Exit` so tenant code cannot intercept
+    /// a cancellation the way it can catch a `limit` breach.
+    Cancel,
+}
+
+/// A cooperative-yield hook, consulted once per
+/// [`crate::governor::charge`] — the interpreter's clock-tick /
+/// signal-poll / step-count seam. An external scheduler (es-serve's
+/// run loop) installs one per machine to timeslice many sessions
+/// fairly: `tick` blocks when the current slice is spent and returns
+/// when the next one is granted. `tick` must not touch the machine —
+/// it only observes/updates scheduler state — so yielding is invisible
+/// to the virtual clock and the replay oracle.
+pub trait Yield {
+    /// Called once per eval step; may block. See [`YieldAction`].
+    fn tick(&self) -> YieldAction;
+}
+
 /// An input source for `$&parse` / `$&dot`.
 #[derive(Debug, Clone)]
 pub enum Input {
@@ -106,6 +133,16 @@ pub struct Machine<O: Os + Clone> {
     hook_boot_gen: u64,
     /// Compiled-body cache: lambda tree identity → bytecode.
     codes: std::collections::HashMap<crate::compile::LambdaKey, Rc<crate::compile::Code>>,
+    /// Cooperative-yield hook (see [`Yield`]); `None` outside a
+    /// scheduler. Forked children share the parent's hook, so a
+    /// session's forks charge against the same timeslice.
+    yielder: Option<Rc<dyn Yield>>,
+    /// The machine as it was the moment boot finished (hooks bound,
+    /// environment imported, default limits armed). [`Machine::recycle`]
+    /// restores this image in place; pooled session slots use it to
+    /// hand every tenant a provably cold-equivalent machine. Shared by
+    /// `Rc` so forks and clones don't duplicate it.
+    boot_image: Option<Rc<Machine<O>>>,
 }
 
 impl<O: Os + Clone> Clone for Machine<O> {
@@ -125,6 +162,8 @@ impl<O: Os + Clone> Clone for Machine<O> {
             hook_gen: self.hook_gen,
             hook_boot_gen: self.hook_boot_gen,
             codes: self.codes.clone(),
+            yielder: self.yielder.clone(),
+            boot_image: self.boot_image.clone(),
         }
     }
 }
@@ -155,6 +194,8 @@ impl<O: Os + Clone> Machine<O> {
             hook_gen: 0,
             hook_boot_gen: 0,
             codes: std::collections::HashMap::new(),
+            yielder: None,
+            boot_image: None,
         };
         m.fds.insert(0, es_os::STDIN);
         m.fds.insert(1, es_os::STDOUT);
@@ -170,7 +211,40 @@ impl<O: Os + Clone> Machine<O> {
         // environment import below — dirties the generation.
         m.hook_boot_gen = m.hook_gen;
         env::import_environment(&mut m)?;
+        // Freeze the finished boot state so pooled slots can restore
+        // it. The image's own `boot_image` is `None` (no recursion);
+        // `recycle` puts the `Rc` back after restoring from it.
+        m.boot_image = Some(Rc::new(m.clone()));
         Ok(m)
+    }
+
+    /// Restores this machine to its boot image: boot hook bindings,
+    /// default limits re-armed, globals, heap, fd table, inputs, and
+    /// the kernel itself all return to the exact post-boot state —
+    /// a recycled pooled slot is indistinguishable from a cold-started
+    /// machine (the serve suite proves this bit-for-bit on a probe
+    /// script). Returns `false` (and does nothing) on a machine with
+    /// no boot image, i.e. one that is itself a boot image.
+    pub fn recycle(&mut self) -> bool {
+        let Some(image) = self.boot_image.take() else {
+            return false;
+        };
+        let yielder = self.yielder.take();
+        *self = (*image).clone();
+        self.boot_image = Some(image);
+        self.yielder = yielder;
+        true
+    }
+
+    /// Installs (or with `None`, removes) the cooperative-yield hook.
+    pub fn set_yielder(&mut self, y: Option<Rc<dyn Yield>>) {
+        self.yielder = y;
+    }
+
+    /// The installed cooperative-yield hook, if any.
+    #[inline]
+    pub fn yielder(&self) -> Option<&Rc<dyn Yield>> {
+        self.yielder.as_ref()
     }
 
     fn render_boot_error(&mut self, e: EsError) -> EsError {

@@ -1514,3 +1514,149 @@ fn hook_spoof_from_argument_evaluation_is_not_missed() {
         );
     }
 }
+
+// ----- serving substrate: recycle, cooperative yield, warning routing ------
+
+/// `Machine::recycle` restores the frozen boot image: globals, hook
+/// bindings, limits, fd table, and the whole kernel (files, clock,
+/// consoles) return to the exact post-boot state.
+#[test]
+fn recycle_restores_boot_state() {
+    let mut m = machine();
+    m.run("x = dirty; fn leak { echo leak }; fn-%pipe = @ { echo hook }")
+        .unwrap();
+    m.run("echo contaminant > /tmp/leak").unwrap();
+    m.arm_limit("steps", 1234).unwrap();
+    assert!(!m.hooks_pristine());
+    assert!(m.recycle());
+    assert!(m.hooks_pristine(), "hook bindings must return to boot");
+    assert_eq!(m.get_var("x"), Vec::<String>::new());
+    assert_eq!(m.get_var("fn-leak"), Vec::<String>::new());
+    assert_eq!(m.get_var("fn-%pipe"), vec!["$&pipe"]);
+    assert_eq!(m.governor().limits().steps, None, "limits re-armed to boot defaults");
+    // The kernel was restored too: the file is gone.
+    assert_eq!(val(&mut m, "cat /tmp/leak"), vec!["1"]);
+    assert_eq!(
+        m.os_mut().take_error(),
+        "cat: /tmp/leak: No such file or directory\n"
+    );
+}
+
+/// Satellite: a recycled machine is bit-for-bit equivalent to a
+/// cold-started one — identical kernel fingerprints and an identical
+/// `SessionTrace` on a probe script that exercises variables, hooks,
+/// pipes, redirections, and the filesystem.
+#[test]
+fn recycled_machine_is_bit_for_bit_cold_equivalent() {
+    let probe = [
+        "echo $x $path",
+        "fn p a { echo [$a] }; p 1",
+        "echo probe | wc -l",
+        "echo w > /tmp/p; cat /tmp/p",
+        "result 7",
+    ];
+    let mut cold = machine();
+    let mut recycled = machine();
+    crate::harness::run_session(
+        &mut recycled,
+        &[
+            "x = stale",
+            "fn junk { echo junk }",
+            "fn-%pipe = @ { echo hooked }",
+            "echo residue > /tmp/residue",
+            "junk",
+        ],
+    );
+    assert!(recycled.recycle());
+    assert_eq!(
+        recycled.os().fingerprint(),
+        cold.os().fingerprint(),
+        "recycled kernel differs from a cold boot"
+    );
+    let a = crate::harness::run_session(&mut cold, &probe);
+    let b = crate::harness::run_session(&mut recycled, &probe);
+    assert_eq!(a, b, "probe script diverged between cold and recycled");
+    assert_eq!(
+        recycled.os().fingerprint(),
+        cold.os().fingerprint(),
+        "kernels diverged after running the same probe"
+    );
+}
+
+/// A machine with no boot image (the image itself) refuses to recycle;
+/// the yield hook survives recycling (it belongs to the slot, not the
+/// session).
+#[test]
+fn recycle_preserves_yielder() {
+    use crate::machine::{Yield, YieldAction};
+    struct Free;
+    impl Yield for Free {
+        fn tick(&self) -> YieldAction {
+            YieldAction::Run
+        }
+    }
+    let mut m = machine();
+    m.set_yielder(Some(std::rc::Rc::new(Free)));
+    assert!(m.recycle());
+    assert!(m.yielder().is_some(), "recycle must keep the slot's yield hook");
+    assert_eq!(output(&mut m, "echo still gated"), "still gated\n");
+}
+
+/// The cooperative-yield hook is consulted every charge; `Cancel`
+/// unwinds with the uncatchable exit so tenant `catch` cannot swallow
+/// a scheduler's cancellation.
+#[test]
+fn yield_cancel_is_uncatchable() {
+    use crate::governor::CANCEL_EXIT;
+    use crate::machine::{Yield, YieldAction};
+    use std::cell::Cell;
+    struct Budget(Cell<u64>);
+    impl Yield for Budget {
+        fn tick(&self) -> YieldAction {
+            if self.0.get() == 0 {
+                return YieldAction::Cancel;
+            }
+            self.0.set(self.0.get() - 1);
+            YieldAction::Run
+        }
+    }
+    let mut m = machine();
+    m.set_yielder(Some(std::rc::Rc::new(Budget(Cell::new(100_000)))));
+    assert_eq!(output(&mut m, "echo gated"), "gated\n");
+    // Exhaust the budget inside a catch-all handler: the cancel must
+    // sail straight through it.
+    m.set_yielder(Some(std::rc::Rc::new(Budget(Cell::new(50)))));
+    let err = m
+        .run_text("catch @ e { result caught $e } { while {true} {} }")
+        .unwrap_err();
+    assert!(
+        matches!(err, crate::EsError::Exit(c) if c == CANCEL_EXIT),
+        "cancel must unwind as the uncatchable exit, got {err:?}"
+    );
+}
+
+/// Satellite regression: the governor's 90% warning reaches the
+/// session's console stderr even when the tenant redirected fd 2 —
+/// the warning belongs to the session's owner, not to whatever file
+/// the tenant pointed stderr at. It also does not count against the
+/// tenant's own output quota.
+#[test]
+fn limit_warning_survives_fd2_redirection() {
+    let mut m = machine();
+    m.arm_limit("output", 200).unwrap();
+    let long = "a".repeat(185);
+    m.run(&format!("{{echo {long}; echo ok}} >[2] /tmp/quiet"))
+        .unwrap();
+    let err = m.os_mut().take_error();
+    assert!(
+        err.contains("es: warning: output limit at"),
+        "warning must land on the console stderr, got {err:?}"
+    );
+    m.os_mut().take_output(); // drain the echoes themselves
+    assert_eq!(
+        output(&mut m, "cat /tmp/quiet"),
+        "",
+        "warning must not follow the tenant's fd 2 redirection"
+    );
+}
+

@@ -429,6 +429,127 @@ impl SimOs {
     pub fn shell_sys_ns(&self) -> u64 {
         self.shell_sys_ns
     }
+
+    /// Deterministic digest of every tenant-observable piece of kernel
+    /// state: the filesystem (paths, contents, executable bits), the
+    /// descriptor table (kinds, cursors, refcounts), pipes and their
+    /// buffered bytes, console buffers, working directory, virtual
+    /// clock, child rusage, pending and scheduled signals, the process
+    /// table, and the pid counter. The serving pool's reset oracle
+    /// compares a recycled slot's fingerprint against its boot
+    /// image's — equality means zero cross-tenant state bleed at the
+    /// kernel layer. The armed fault plan is deliberately excluded: it
+    /// is per-session *configuration*, not state a tenant mutates.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf29ce484222325;
+        fnv(&mut h, self.cwd.as_bytes());
+        fnv_u64(&mut h, self.real_ns);
+        fnv_u64(&mut h, self.shell_sys_ns);
+        fnv_u64(&mut h, self.children.user_ns);
+        fnv_u64(&mut h, self.children.sys_ns);
+        fnv_u64(&mut h, self.next_pid as u64);
+        fnv_u64(&mut h, self.shell_pid as u64);
+        self.hash_tree("/", &mut h);
+        for (i, slot) in self.files.iter().enumerate() {
+            let Some(of) = slot else { continue };
+            fnv_u64(&mut h, i as u64);
+            fnv_u64(&mut h, of.refs as u64);
+            match &of.kind {
+                FileKind::Vnode { ino, offset, readable, writable, append } => {
+                    fnv(&mut h, b"vnode");
+                    fnv_u64(&mut h, ino.0 as u64);
+                    fnv_u64(&mut h, *offset as u64);
+                    fnv(&mut h, &[*readable as u8, *writable as u8, *append as u8]);
+                }
+                FileKind::PipeR(p) => {
+                    fnv(&mut h, b"piper");
+                    fnv_u64(&mut h, *p as u64);
+                }
+                FileKind::PipeW(p) => {
+                    fnv(&mut h, b"pipew");
+                    fnv_u64(&mut h, *p as u64);
+                }
+                FileKind::ConsoleIn => fnv(&mut h, b"cin"),
+                FileKind::ConsoleOut => fnv(&mut h, b"cout"),
+                FileKind::ConsoleErr => fnv(&mut h, b"cerr"),
+            }
+        }
+        for (i, pipe) in self.pipes.iter().enumerate() {
+            // Only pipes with a live end are observable; fully closed
+            // entries are dead rows kept for index stability.
+            if pipe.readers == 0 && pipe.writers == 0 {
+                continue;
+            }
+            fnv_u64(&mut h, i as u64);
+            fnv_u64(&mut h, pipe.readers as u64);
+            fnv_u64(&mut h, pipe.writers as u64);
+            let (a, b) = pipe.buf.as_slices();
+            fnv(&mut h, a);
+            fnv(&mut h, b);
+        }
+        fnv(&mut h, self.console_in.as_slices().0);
+        fnv(&mut h, self.console_in.as_slices().1);
+        fnv(&mut h, &self.console_out);
+        fnv(&mut h, &self.console_err);
+        for sig in &self.signals {
+            fnv(&mut h, sig.name().as_bytes());
+        }
+        for (t, sig) in &self.sig_schedule {
+            fnv_u64(&mut h, *t);
+            fnv(&mut h, sig.name().as_bytes());
+        }
+        for p in &self.procs {
+            fnv(&mut h, p.user.as_bytes());
+            fnv_u64(&mut h, p.pid as u64);
+            fnv(&mut h, p.command.as_bytes());
+        }
+        h
+    }
+
+    fn hash_tree(&self, path: &str, h: &mut u64) {
+        let Ok(names) = self.vfs.read_dir(path, "/") else {
+            return;
+        };
+        for name in names {
+            let full = if path == "/" {
+                format!("/{name}")
+            } else {
+                format!("{path}/{name}")
+            };
+            fnv(h, full.as_bytes());
+            if self.vfs.is_dir(&full, "/") {
+                fnv(h, b"dir");
+                self.hash_tree(&full, h);
+                continue;
+            }
+            fnv(h, &[self.vfs.is_executable(&full, "/") as u8]);
+            if let Ok(ino) = self.vfs.lookup(&full, "/") {
+                match self.vfs.program_of(ino) {
+                    Some(key) => {
+                        fnv(h, b"prog");
+                        fnv(h, key.as_bytes());
+                    }
+                    None => {
+                        fnv(h, b"file");
+                        fnv(h, self.vfs.file_data(ino));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// FNV-1a over a byte run (the fingerprint's mixing step).
+fn fnv(h: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *h ^= b as u64;
+        *h = h.wrapping_mul(0x100000001b3);
+    }
+}
+
+/// FNV-1a over a little-endian u64.
+fn fnv_u64(h: &mut u64, v: u64) {
+    fnv(h, &v.to_le_bytes());
 }
 
 impl Os for SimOs {

@@ -914,3 +914,57 @@ fn comm_reads_stdin_for_dash() {
     assert_eq!(status, 0);
     assert_eq!(out, "a\n\t\tm\nz\n");
 }
+
+// ----- kernel fingerprint (the serving pool's reset oracle) ----------------
+
+/// The fingerprint is a pure function of kernel state: two kernels
+/// driven through the same operations digest identically, and a fresh
+/// boot always digests the same.
+#[test]
+fn fingerprint_is_deterministic_across_same_ops() {
+    assert_eq!(SimOs::new().fingerprint(), SimOs::new().fingerprint());
+    let drive = || {
+        let mut os = SimOs::new();
+        let fd = os.open("/tmp/fp", OpenMode::Write).unwrap();
+        write_all(&mut os, fd, b"same bytes\n").unwrap();
+        os.close(fd).unwrap();
+        os.advance_ns(1_000);
+        run_prog(&mut os, "echo", &["hello"], "");
+        os.fingerprint()
+    };
+    assert_eq!(drive(), drive());
+}
+
+/// Every tenant-observable mutation moves the digest: file contents,
+/// a dangling open descriptor, buffered console bytes, and the clock
+/// each produce a distinct fingerprint. This is what lets the pool
+/// audit a recycled slot against its boot image with one comparison.
+#[test]
+fn fingerprint_is_sensitive_to_observable_state() {
+    let boot = SimOs::new().fingerprint();
+    let mut seen = vec![boot];
+    let mut check = |os: &SimOs, what: &str| {
+        let fp = os.fingerprint();
+        assert!(!seen.contains(&fp), "{what} did not change the fingerprint");
+        seen.push(fp);
+    };
+
+    let mut os = SimOs::new();
+    let fd = os.open("/tmp/dirt", OpenMode::Write).unwrap();
+    write_all(&mut os, fd, b"residue").unwrap();
+    check(&os, "writing a file (with its fd still open)");
+    os.close(fd).unwrap();
+    check(&os, "closing the fd (file remains)");
+
+    let mut os = SimOs::new();
+    let _leak = os.open("/bin/echo", OpenMode::Read).unwrap();
+    check(&os, "leaking an open descriptor");
+
+    let mut os = SimOs::new();
+    write_all(&mut os, crate::STDERR, b"unclaimed warning").unwrap();
+    check(&os, "buffered console stderr");
+
+    let mut os = SimOs::new();
+    os.advance_ns(1);
+    check(&os, "advancing the virtual clock");
+}

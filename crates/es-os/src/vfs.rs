@@ -11,7 +11,7 @@ use std::collections::BTreeMap;
 
 /// Inode number.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub struct Ino(usize);
+pub struct Ino(pub(crate) usize);
 
 /// One filesystem node.
 #[derive(Debug, Clone)]

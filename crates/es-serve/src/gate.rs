@@ -1,0 +1,228 @@
+//! The slice gate: the baton a scheduler and one slot worker pass.
+//!
+//! Cooperative timeslicing works by blocking, not by unwinding: the
+//! worker thread runs its `Machine` normally, and the machine's
+//! [`es_core::Yield`] hook (installed per slot) calls
+//! [`SliceGate::tick`] at every `charge()`. Ticks burn slice fuel;
+//! when the fuel is gone the worker parks *in place* — arbitrarily
+//! deep in the evaluator — and the scheduler's
+//! [`SliceGate::wait_parked`] returns so the run loop can hand the
+//! baton to another slot. Exactly one side runs at any moment, which
+//! is what makes the served event log deterministic and byte-replayable.
+//!
+//! Cancellation rides the same gate: [`SliceGate::cancel`] wakes a
+//! parked worker and makes its next tick return
+//! [`YieldAction::Cancel`], which the interpreter turns into the
+//! uncatchable `EsError::Exit` — tenant code cannot catch its way out
+//! of a cancel the way it can catch a `limit` breach.
+
+use es_core::{Yield, YieldAction};
+use std::sync::{Condvar, Mutex};
+
+/// Where the worker is, as observed through the gate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// No request in flight.
+    Idle,
+    /// The worker holds the baton (a granted slice is being consumed).
+    Running,
+    /// The worker parked mid-command: its slice fuel ran out.
+    Parked,
+    /// The worker finished the request and posted its reply.
+    Done,
+}
+
+#[derive(Debug)]
+struct GateState {
+    phase: Phase,
+    /// Charge ticks left in the granted slice.
+    fuel: u64,
+    /// When set, the next tick cancels the running command.
+    cancel: bool,
+    /// Slices granted since the gate was built (stats/fairness tests).
+    slices: u64,
+}
+
+/// The scheduler↔worker baton. One per pool slot, shared by `Arc`.
+#[derive(Debug)]
+pub struct SliceGate {
+    state: Mutex<GateState>,
+    cv: Condvar,
+}
+
+impl Default for SliceGate {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SliceGate {
+    /// A fresh gate in [`Phase::Idle`].
+    pub fn new() -> SliceGate {
+        SliceGate {
+            state: Mutex::new(GateState {
+                phase: Phase::Idle,
+                fuel: 0,
+                cancel: false,
+                slices: 0,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    // ---- scheduler side --------------------------------------------------
+
+    /// Grants a timeslice of `fuel` charge ticks and wakes the worker.
+    pub fn grant(&self, fuel: u64) {
+        let mut s = self.state.lock().expect("gate lock");
+        s.fuel = fuel;
+        s.phase = Phase::Running;
+        s.slices += 1;
+        self.cv.notify_all();
+    }
+
+    /// Requests cancellation of the in-flight command and wakes a
+    /// parked worker so it can observe it. The worker still finishes
+    /// normally (posting its reply and reaching [`Phase::Done`]) — the
+    /// scheduler must keep waiting for that.
+    pub fn cancel(&self) {
+        let mut s = self.state.lock().expect("gate lock");
+        s.cancel = true;
+        // Wake a parked worker; a running one notices at its next tick.
+        if s.phase == Phase::Parked {
+            s.phase = Phase::Running;
+        }
+        self.cv.notify_all();
+    }
+
+    /// Wakes a worker still waiting in [`SliceGate::acquire`] (its
+    /// command was posted but never granted a slice) without touching
+    /// a gate that is already `Running`/`Parked`/`Done` — used with
+    /// [`SliceGate::cancel`] to reap a command no matter where its
+    /// worker currently waits.
+    pub fn wake(&self) {
+        let mut s = self.state.lock().expect("gate lock");
+        if s.phase == Phase::Idle {
+            s.phase = Phase::Running;
+            s.fuel = 0;
+        }
+        self.cv.notify_all();
+    }
+
+    /// Blocks until the worker either parks (slice exhausted) or
+    /// completes the request; returns the phase that ended the wait.
+    pub fn wait_parked(&self) -> Phase {
+        let mut s = self.state.lock().expect("gate lock");
+        while s.phase != Phase::Parked && s.phase != Phase::Done {
+            s = self.cv.wait(s).expect("gate wait");
+        }
+        s.phase
+    }
+
+    /// Blocks until the worker completes the request ([`Phase::Done`]),
+    /// then resets the gate to [`Phase::Idle`] for the next request.
+    pub fn wait_done(&self) {
+        let mut s = self.state.lock().expect("gate lock");
+        while s.phase != Phase::Done {
+            s = self.cv.wait(s).expect("gate wait");
+        }
+        s.phase = Phase::Idle;
+        s.cancel = false;
+        s.fuel = 0;
+    }
+
+    /// Slices granted so far (fairness assertions in tests).
+    pub fn slices_granted(&self) -> u64 {
+        self.state.lock().expect("gate lock").slices
+    }
+
+    /// Whether cancellation was requested for the in-flight command.
+    /// The worker reads this to classify its outcome — a tenant
+    /// running `exit 124` must not be mistaken for a server cancel, so
+    /// classification never keys on the exit status alone.
+    pub fn cancel_requested(&self) -> bool {
+        self.state.lock().expect("gate lock").cancel
+    }
+
+    // ---- worker side -----------------------------------------------------
+
+    /// Waits for the first slice of a new command (the scheduler may
+    /// have granted it before the worker even picked the request up).
+    pub fn acquire(&self) {
+        let mut s = self.state.lock().expect("gate lock");
+        while s.phase != Phase::Running {
+            s = self.cv.wait(s).expect("gate wait");
+        }
+    }
+
+    /// Marks the current request complete and wakes the scheduler.
+    pub fn done(&self) {
+        let mut s = self.state.lock().expect("gate lock");
+        s.phase = Phase::Done;
+        self.cv.notify_all();
+    }
+
+    /// The per-charge tick: burn one unit of fuel, parking in place
+    /// when the slice is spent, until the scheduler grants the next
+    /// slice (or cancels).
+    pub fn tick(&self) -> YieldAction {
+        let mut s = self.state.lock().expect("gate lock");
+        if s.cancel {
+            return YieldAction::Cancel;
+        }
+        if s.fuel > 0 {
+            s.fuel -= 1;
+            return YieldAction::Run;
+        }
+        s.phase = Phase::Parked;
+        self.cv.notify_all();
+        while s.phase != Phase::Running {
+            s = self.cv.wait(s).expect("gate wait");
+        }
+        if s.cancel {
+            return YieldAction::Cancel;
+        }
+        s.fuel = s.fuel.saturating_sub(1);
+        YieldAction::Run
+    }
+}
+
+/// The `Rc`-able adapter a `Machine` holds: forwards its yield ticks
+/// to the slot's shared gate.
+pub struct GateYield(pub std::sync::Arc<SliceGate>);
+
+impl Yield for GateYield {
+    fn tick(&self) -> YieldAction {
+        self.0.tick()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    /// A worker burning fuel parks when it runs out and resumes on the
+    /// next grant; cancel surfaces at the next tick.
+    #[test]
+    fn park_resume_cancel() {
+        let gate = Arc::new(SliceGate::new());
+        let g2 = Arc::clone(&gate);
+        let worker = std::thread::spawn(move || {
+            g2.acquire();
+            let mut ticks = 0u64;
+            while let YieldAction::Run = g2.tick() {
+                ticks += 1;
+            }
+            g2.done();
+            ticks
+        });
+        gate.grant(10);
+        assert_eq!(gate.wait_parked(), Phase::Parked);
+        gate.grant(5);
+        assert_eq!(gate.wait_parked(), Phase::Parked);
+        gate.cancel();
+        gate.wait_done();
+        assert_eq!(worker.join().expect("worker joins"), 15);
+    }
+}

@@ -1,0 +1,31 @@
+//! es-serve: a fault-isolated multi-tenant session server for the es
+//! interpreter.
+//!
+//! One server hosts many concurrent es sessions over a simple framed
+//! protocol ([`proto`]): spawn a session, feed it command lines,
+//! stream back its output, close it. Under the hood:
+//!
+//! - [`pool`] — a slab of recycled `Machine<SimOs>` slots, each behind
+//!   a dedicated worker thread (machines are `!Send`), with a reset
+//!   oracle proving zero state bleed between tenants.
+//! - [`gate`] — the cooperative timeslicing baton: workers park at the
+//!   interpreter's `charge()` seam when their slice is spent, so one
+//!   runaway `while {true} {}` cannot delay anyone else.
+//! - [`server`] — admission control (high-water shedding with
+//!   exponential-backoff hints), baton scheduling, panic containment
+//!   at the slot boundary, and drain-mode shutdown.
+//! - [`soak`] — the seeded acceptance driver: thousands of sessions
+//!   with fault weather, tight budgets, and injected panics, whose
+//!   event log must replay byte-identically.
+
+pub mod gate;
+pub mod pool;
+pub mod proto;
+pub mod server;
+pub mod soak;
+
+pub use gate::{GateYield, Phase, SliceGate};
+pub use pool::{Outcome, Pool, ResetReport, SlotState};
+pub use proto::{Frame, FaultClass, ProtoError};
+pub use server::{ServeConfig, ServeStats, Server};
+pub use soak::{run_soak, SoakConfig, SoakReport};

@@ -1,0 +1,500 @@
+//! The slot pool: recycled `Machine` instances behind worker threads.
+//!
+//! A `Machine<SimOs>` is `!Send` (its heap is `Rc`-threaded), so each
+//! pool slot owns a dedicated worker thread that boots the machine
+//! once and keeps it for the slot's whole life. The scheduler never
+//! touches a machine directly — it sends [`WorkerMsg`]s down the
+//! slot's channel and timeslices execution through the slot's
+//! [`SliceGate`]. Booting is the expensive part (parsing and running
+//! `initial.es`, importing the environment); recycling via
+//! [`es_core::Machine::recycle`] restores the frozen boot image in
+//! place, which is why a pooled session starts orders of magnitude
+//! faster than a cold one (measured in E14).
+//!
+//! ## The reset oracle
+//!
+//! Every release runs the machine through `recycle()` and then audits
+//! it against the snapshot taken right after boot: the kernel
+//! fingerprint ([`es_os::SimOs::fingerprint`] — vfs, descriptors,
+//! pipes, consoles, clocks, signals), the open-descriptor delta, the
+//! hook-generation counter, and the armed limits. A clean report means
+//! the next tenant provably cannot observe the previous one. A dirty
+//! report quarantines the slot; scrubbing (a fresh boot) is the only
+//! way back, and a slot whose *scrub* still fails the oracle is
+//! retired for good.
+
+use crate::gate::{GateYield, SliceGate};
+use es_core::Machine;
+use es_os::{Os, SimOs};
+use std::panic::{self, AssertUnwindSafe};
+use std::rc::Rc;
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{mpsc, Arc, Once};
+use std::thread::JoinHandle;
+
+/// Background fault-injection intensity for sessions opened with a
+/// fault seed: roughly 1.2% of syscalls fail (`12/1024`), the same
+/// weather band the in-crate fault soaks run under.
+pub const WEATHER_PER_1024: u16 = 12;
+
+/// Hook applied to a slot's kernel *before* boot (and again on every
+/// scrub), e.g. to seed `/bin` with scenario programs. Runs before
+/// `initial.es`, so whatever it installs is part of the boot image
+/// that `recycle()` restores.
+pub type OsSetup = Arc<dyn Fn(&mut SimOs) + Send + Sync>;
+
+/// What the scheduler asks a slot worker to do.
+pub enum WorkerMsg {
+    /// Arm per-session limits and (optionally) fault weather for the
+    /// tenant about to use this slot.
+    Arm {
+        limits: Vec<(String, u64)>,
+        fault_seed: Option<u64>,
+    },
+    /// Run one command line to completion (timesliced via the gate).
+    Run(String),
+    /// Restore the boot image and audit it (normal release path).
+    Recycle,
+    /// Throw the machine away and boot a fresh one (post-panic path).
+    Scrub,
+    /// Exit the worker thread.
+    Shutdown,
+}
+
+/// What a slot worker reports back.
+pub enum Reply {
+    Armed(Result<(), String>),
+    Ran(Outcome),
+    Recycled(ResetReport),
+    Scrubbed(ResetReport),
+}
+
+/// Everything observable from one command run in a slot.
+#[derive(Debug, Clone)]
+pub struct Outcome {
+    /// The es-level result: the command's value list (joined) or its
+    /// error rendering. Errors here are tenant-visible data, not
+    /// server faults.
+    pub result: Result<String, String>,
+    /// The scheduler cancelled this command (drain or close); the
+    /// error value is the cancel unwind, not tenant code.
+    pub cancelled: bool,
+    /// The interpreter panicked; the payload message. The machine is
+    /// in an unknown state and the slot must be scrubbed.
+    pub panic: Option<String>,
+    /// Bytes the command wrote to the session's stdout.
+    pub stdout: String,
+    /// Bytes the command wrote to the session's stderr (including any
+    /// governor warnings, which land here and nowhere else).
+    pub stderr: String,
+    /// Eval steps the command consumed.
+    pub steps: u64,
+}
+
+/// The recycle/scrub audit: how the machine compares to its own
+/// post-boot snapshot. All four checks must hold for the slot to be
+/// handed to another tenant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResetReport {
+    /// Kernel fingerprint matches the post-boot fingerprint (vfs,
+    /// descriptor table, pipes, consoles, clock, signals).
+    pub os_clean: bool,
+    /// Open kernel descriptors gained since boot (0 when clean).
+    pub fd_delta: isize,
+    /// No `fn-%*` hook binding differs from its boot binding.
+    pub hooks_pristine: bool,
+    /// Armed limits are exactly the boot defaults again.
+    pub limits_ok: bool,
+}
+
+impl ResetReport {
+    /// True when every check passed — the next tenant cannot observe
+    /// the previous one.
+    pub fn clean(&self) -> bool {
+        self.os_clean && self.fd_delta == 0 && self.hooks_pristine && self.limits_ok
+    }
+
+    /// The checks that failed, by name (for `Fault` frame details).
+    pub fn violations(&self) -> Vec<&'static str> {
+        let mut v = Vec::new();
+        if !self.os_clean {
+            v.push("kernel-fingerprint");
+        }
+        if self.fd_delta != 0 {
+            v.push("fd-delta");
+        }
+        if !self.hooks_pristine {
+            v.push("hook-bindings");
+        }
+        if !self.limits_ok {
+            v.push("limits");
+        }
+        v
+    }
+}
+
+/// A slot's lifecycle state, as the pool tracks it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SlotState {
+    /// Ready for a new tenant.
+    Free,
+    /// Leased to a live session.
+    Leased,
+    /// A panic or dirty recycle happened; must be scrubbed before
+    /// reuse.
+    Quarantined,
+    /// Scrubbing did not produce a clean machine; permanently out of
+    /// rotation.
+    Retired,
+}
+
+struct Slot {
+    gate: Arc<SliceGate>,
+    tx: Sender<WorkerMsg>,
+    rx: Receiver<Reply>,
+    handle: Option<JoinHandle<()>>,
+    state: SlotState,
+}
+
+/// The fixed-capacity slot pool.
+pub struct Pool {
+    slots: Vec<Slot>,
+    panic_probe: String,
+}
+
+/// Thread-name prefix for slot workers; the quiet panic hook keys on
+/// it so injected panics don't spray backtraces over test output while
+/// every other thread's panics still report normally.
+const WORKER_PREFIX: &str = "es-serve-slot";
+
+fn install_quiet_panics() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let prev = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            let quiet = std::thread::current()
+                .name()
+                .is_some_and(|n| n.starts_with(WORKER_PREFIX));
+            if !quiet {
+                prev(info);
+            }
+        }));
+    });
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Boot state the worker audits against: taken once right after boot,
+/// retaken after every scrub.
+struct BootSnapshot {
+    fingerprint: u64,
+    fds: usize,
+    limits: es_core::governor::Limits,
+}
+
+fn boot_machine(setup: &Option<OsSetup>) -> Machine<SimOs> {
+    let mut os = SimOs::new();
+    if let Some(f) = setup {
+        f(&mut os);
+    }
+    Machine::new(os).expect("slot boot: initial.es must run clean")
+}
+
+fn snapshot(m: &Machine<SimOs>) -> BootSnapshot {
+    BootSnapshot {
+        fingerprint: m.os().fingerprint(),
+        fds: m.os().open_desc_count(),
+        limits: *m.governor().limits(),
+    }
+}
+
+fn audit(m: &Machine<SimOs>, boot: &BootSnapshot) -> ResetReport {
+    ResetReport {
+        os_clean: m.os().fingerprint() == boot.fingerprint,
+        fd_delta: m.os().open_desc_count() as isize - boot.fds as isize,
+        hooks_pristine: m.hooks_pristine(),
+        limits_ok: *m.governor().limits() == boot.limits,
+    }
+}
+
+#[allow(clippy::too_many_lines)]
+fn worker_main(
+    gate: Arc<SliceGate>,
+    rx: Receiver<WorkerMsg>,
+    tx: Sender<Reply>,
+    setup: Option<OsSetup>,
+    panic_probe: String,
+) {
+    let mut m = boot_machine(&setup);
+    let mut boot = snapshot(&m);
+    m.set_yielder(Some(Rc::new(GateYield(Arc::clone(&gate)))));
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            WorkerMsg::Arm { limits, fault_seed } => {
+                let mut res = Ok(());
+                for (kind, value) in &limits {
+                    if let Err(e) = m.arm_limit(kind, *value) {
+                        res = Err(e);
+                        break;
+                    }
+                }
+                if let Some(seed) = fault_seed {
+                    m.os_mut().set_fault_plan(Some(
+                        es_os::FaultPlan::new(seed).uniform_rate(WEATHER_PER_1024),
+                    ));
+                }
+                let _ = tx.send(Reply::Armed(res));
+            }
+            WorkerMsg::Run(cmd) => {
+                gate.acquire();
+                let steps_before = m.governor().steps();
+                let run = panic::catch_unwind(AssertUnwindSafe(|| {
+                    if cmd == panic_probe {
+                        panic!("injected probe panic");
+                    }
+                    m.run(&cmd)
+                }));
+                let cancelled = gate.cancel_requested();
+                let outcome = match run {
+                    Ok(Ok(values)) => Outcome {
+                        result: Ok(values.join(" ")),
+                        cancelled,
+                        panic: None,
+                        stdout: String::new(),
+                        stderr: String::new(),
+                        steps: m.governor().steps() - steps_before,
+                    },
+                    Ok(Err(e)) => Outcome {
+                        result: Err(e.to_string()),
+                        cancelled,
+                        panic: None,
+                        stdout: String::new(),
+                        stderr: String::new(),
+                        steps: m.governor().steps() - steps_before,
+                    },
+                    Err(payload) => Outcome {
+                        result: Err("panic".to_string()),
+                        cancelled,
+                        panic: Some(panic_message(payload)),
+                        stdout: String::new(),
+                        stderr: String::new(),
+                        steps: m.governor().steps().saturating_sub(steps_before),
+                    },
+                };
+                let (stdout, stderr) = m.os_mut().take_console();
+                let outcome = Outcome {
+                    stdout,
+                    stderr,
+                    ..outcome
+                };
+                let _ = tx.send(Reply::Ran(outcome));
+                gate.done();
+            }
+            WorkerMsg::Recycle => {
+                m.os_mut().set_fault_plan(None);
+                m.recycle();
+                let _ = tx.send(Reply::Recycled(audit(&m, &boot)));
+            }
+            WorkerMsg::Scrub => {
+                m = boot_machine(&setup);
+                boot = snapshot(&m);
+                m.set_yielder(Some(Rc::new(GateYield(Arc::clone(&gate)))));
+                let _ = tx.send(Reply::Scrubbed(audit(&m, &boot)));
+            }
+            WorkerMsg::Shutdown => break,
+        }
+    }
+}
+
+impl Pool {
+    /// Spawns `capacity` slot workers, each booting its machine
+    /// eagerly (the pool is warm by the time `new` returns the first
+    /// replies — workers boot in parallel on their own threads).
+    pub fn new(
+        capacity: usize,
+        setup: Option<OsSetup>,
+        panic_probe: String,
+        worker_stack: usize,
+    ) -> Pool {
+        install_quiet_panics();
+        let mut slots = Vec::with_capacity(capacity);
+        for i in 0..capacity {
+            let gate = Arc::new(SliceGate::new());
+            let (msg_tx, msg_rx) = mpsc::channel();
+            let (reply_tx, reply_rx) = mpsc::channel();
+            let g = Arc::clone(&gate);
+            let s = setup.clone();
+            let probe = panic_probe.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("{WORKER_PREFIX}-{i}"))
+                .stack_size(worker_stack)
+                .spawn(move || worker_main(g, msg_rx, reply_tx, s, probe))
+                .expect("spawn slot worker");
+            slots.push(Slot {
+                gate,
+                tx: msg_tx,
+                rx: reply_rx,
+                handle: Some(handle),
+                state: SlotState::Free,
+            });
+        }
+        Pool { slots, panic_probe }
+    }
+
+    /// Total slots, regardless of state.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Slots currently available to lease.
+    pub fn free_count(&self) -> usize {
+        self.slots
+            .iter()
+            .filter(|s| s.state == SlotState::Free)
+            .count()
+    }
+
+    /// Slots permanently out of rotation.
+    pub fn retired_count(&self) -> usize {
+        self.slots
+            .iter()
+            .filter(|s| s.state == SlotState::Retired)
+            .count()
+    }
+
+    /// The command string that makes a worker panic (test/probe rig).
+    pub fn panic_probe(&self) -> &str {
+        &self.panic_probe
+    }
+
+    /// Leases the lowest-numbered free slot.
+    pub fn acquire(&mut self) -> Option<usize> {
+        let idx = self
+            .slots
+            .iter()
+            .position(|s| s.state == SlotState::Free)?;
+        self.slots[idx].state = SlotState::Leased;
+        Some(idx)
+    }
+
+    /// The slot's scheduler↔worker gate.
+    pub fn gate(&self, idx: usize) -> &Arc<SliceGate> {
+        &self.slots[idx].gate
+    }
+
+    /// The slot's lifecycle state.
+    pub fn state(&self, idx: usize) -> SlotState {
+        self.slots[idx].state
+    }
+
+    /// Arms session limits/weather on a leased slot (synchronous).
+    pub fn arm(
+        &mut self,
+        idx: usize,
+        limits: Vec<(String, u64)>,
+        fault_seed: Option<u64>,
+    ) -> Result<(), String> {
+        let slot = &self.slots[idx];
+        slot.tx
+            .send(WorkerMsg::Arm { limits, fault_seed })
+            .map_err(|_| "slot worker gone".to_string())?;
+        match slot.rx.recv() {
+            Ok(Reply::Armed(res)) => res,
+            _ => Err("slot worker gone".to_string()),
+        }
+    }
+
+    /// Posts a command to a leased slot. The worker will block in
+    /// `acquire` until the scheduler grants a slice; the reply arrives
+    /// via [`Pool::take_reply`] once the gate reports `Done`.
+    pub fn start_run(&self, idx: usize, cmd: String) {
+        let _ = self.slots[idx].tx.send(WorkerMsg::Run(cmd));
+    }
+
+    /// Receives the worker's pending reply (call after the gate
+    /// reaches `Done`, or after a synchronous message).
+    pub fn take_reply(&self, idx: usize) -> Option<Reply> {
+        self.slots[idx].rx.recv().ok()
+    }
+
+    /// Releases a leased slot through the recycle+audit path. A clean
+    /// report frees the slot; a dirty one quarantines it (caller
+    /// decides whether to scrub now or retire).
+    pub fn release(&mut self, idx: usize) -> ResetReport {
+        let slot = &mut self.slots[idx];
+        let _ = slot.tx.send(WorkerMsg::Recycle);
+        let report = match slot.rx.recv() {
+            Ok(Reply::Recycled(r)) => r,
+            _ => ResetReport {
+                os_clean: false,
+                fd_delta: 0,
+                hooks_pristine: false,
+                limits_ok: false,
+            },
+        };
+        slot.state = if report.clean() {
+            SlotState::Free
+        } else {
+            SlotState::Quarantined
+        };
+        report
+    }
+
+    /// Marks a slot quarantined without recycling (post-panic: the
+    /// machine is not trustworthy enough to even run `recycle`).
+    pub fn quarantine(&mut self, idx: usize) {
+        self.slots[idx].state = SlotState::Quarantined;
+    }
+
+    /// Scrubs a quarantined slot: fresh boot, fresh audit. Clean →
+    /// back to `Free`; still dirty → `Retired`.
+    pub fn scrub(&mut self, idx: usize) -> ResetReport {
+        let slot = &mut self.slots[idx];
+        let _ = slot.tx.send(WorkerMsg::Scrub);
+        let report = match slot.rx.recv() {
+            Ok(Reply::Scrubbed(r)) => r,
+            _ => ResetReport {
+                os_clean: false,
+                fd_delta: 0,
+                hooks_pristine: false,
+                limits_ok: false,
+            },
+        };
+        slot.state = if report.clean() {
+            SlotState::Free
+        } else {
+            SlotState::Retired
+        };
+        report
+    }
+
+    /// Stops every worker. In-flight commands are cancelled (the gate
+    /// wakes any parked worker with a cancel flag set), pending
+    /// replies are drained, and threads are joined.
+    pub fn shutdown(&mut self) {
+        for slot in &mut self.slots {
+            slot.gate.cancel();
+            slot.gate.wake();
+            let _ = slot.tx.send(WorkerMsg::Shutdown);
+        }
+        for slot in &mut self.slots {
+            if let Some(h) = slot.handle.take() {
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}

@@ -1,0 +1,575 @@
+//! The session server: admission control, baton scheduling, fault
+//! containment, and graceful drain over a [`crate::pool::Pool`].
+//!
+//! The server is deliberately *caller-driven*: [`Server::feed`]
+//! consumes one client frame and returns any immediate responses;
+//! [`Server::pump`] advances execution by up to `max_slices` baton
+//! grants and returns whatever frames that produced. No hidden
+//! threads make scheduling decisions — the only threads are the slot
+//! workers, and exactly one of them runs at any moment (the baton),
+//! which makes the whole serving path deterministic: the same frame
+//! sequence fed through the same pump cadence produces a
+//! byte-identical event log, which is the soak suite's replay oracle.
+//!
+//! ## Containment ladder
+//!
+//! - A *budget breach* (`limit steps ...`) is a per-command error: the
+//!   tenant gets [`Frame::Done`] with `ok = false`, the session
+//!   survives, and its limits are re-armed before the next command.
+//! - A *cancellation* (client close, drain deadline) unwinds the
+//!   command with the uncatchable exit — tenant `catch` cannot
+//!   intercept it — and is reported as [`FaultClass::Cancelled`].
+//! - A *panic* is caught at the slot boundary: the tenant gets
+//!   [`FaultClass::Panic`], the slot is quarantined and scrubbed
+//!   (fresh boot + reset audit), and every other session keeps
+//!   running undisturbed.
+//! - A *reset-oracle violation* on release means the slot could leak
+//!   state to its next tenant: [`FaultClass::Oracle`] is reported and
+//!   the slot is scrubbed — or retired if even a fresh boot fails the
+//!   audit.
+
+use crate::gate::Phase;
+use crate::pool::{OsSetup, Outcome, Pool, Reply, SlotState};
+use crate::proto::{FaultClass, Frame};
+use es_core::governor::Kind;
+use std::collections::{BTreeMap, VecDeque};
+
+/// Server tuning knobs.
+#[derive(Clone)]
+pub struct ServeConfig {
+    /// Pool slots (maximum concurrently admitted sessions).
+    pub capacity: usize,
+    /// Admission high-water mark: opens are shed while live sessions
+    /// are at or above this (≤ `capacity`).
+    pub high_water: usize,
+    /// Charge ticks per baton grant — the fairness quantum.
+    pub slice_steps: u64,
+    /// Limits re-armed before every command of every session (an
+    /// `Open` may override individual kinds).
+    pub session_limits: Vec<(String, u64)>,
+    /// Base retry hint for shed responses, in milliseconds.
+    pub shed_base_ms: u64,
+    /// Cap on the shed backoff exponent (`base << min(streak, cap)`).
+    pub shed_max_exp: u32,
+    /// Command text that makes a slot worker panic — the containment
+    /// test rig. Choose something no real tenant would type.
+    pub panic_probe: String,
+    /// Kernel setup run before each slot boots (seed `/bin`, etc.).
+    pub os_setup: Option<OsSetup>,
+    /// Stack size for slot worker threads.
+    pub worker_stack: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            capacity: 8,
+            high_water: 8,
+            slice_steps: 200,
+            session_limits: vec![("steps".to_string(), 200_000)],
+            shed_base_ms: 25,
+            shed_max_exp: 8,
+            panic_probe: "__es_serve_panic_probe__".to_string(),
+            os_setup: None,
+            // Slot workers interpret recursive tenant code under the
+            // default depth-150 governor; 4 MiB clears that with room
+            // for the evaluator's own frames even in debug builds.
+            worker_stack: 4 << 20,
+        }
+    }
+}
+
+/// Counters the serve tests and the soak report read.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServeStats {
+    /// Sessions admitted.
+    pub opened: u64,
+    /// Opens refused by admission control.
+    pub shed: u64,
+    /// Commands that finished with a value.
+    pub completed: u64,
+    /// Commands that finished with an es-level error (breaches etc.).
+    pub failed: u64,
+    /// Commands cancelled by close or drain deadline.
+    pub cancelled: u64,
+    /// Panics caught at the slot boundary.
+    pub panics: u64,
+    /// Dirty reset audits (recycle or scrub).
+    pub oracle_violations: u64,
+    /// Fresh boots forced by quarantine.
+    pub scrubs: u64,
+    /// Slots permanently retired.
+    pub retired: u64,
+    /// Most sessions live at once.
+    pub max_live: usize,
+}
+
+struct Session {
+    slot: usize,
+    /// Merged limit spec, re-armed before every command.
+    limits: Vec<(String, u64)>,
+    /// Commands accepted but not yet started (FIFO).
+    queue: VecDeque<String>,
+    /// A command is in flight on the slot worker.
+    running: bool,
+    /// Baton grants consumed since drain began (drain deadline).
+    drain_used: u64,
+}
+
+/// The multi-tenant session server. See the module docs for the
+/// feed/pump driving model.
+pub struct Server {
+    cfg: ServeConfig,
+    pool: Pool,
+    sessions: BTreeMap<u64, Session>,
+    next_sid: u64,
+    /// Consecutive sheds since the last successful admit.
+    shed_streak: u32,
+    /// Round-robin position: the last sid granted a slice.
+    rr_cursor: u64,
+    draining: bool,
+    drain_grace: u64,
+    drain_finished: u64,
+    drain_cancelled: u64,
+    /// A `Drained` frame is still owed once in-flight work ends.
+    drain_pending: bool,
+    /// Every frame consumed and emitted, encoded, in order.
+    log: Vec<u8>,
+    stats: ServeStats,
+}
+
+impl Server {
+    /// Boots the pool (all slots warm) and an empty session table.
+    pub fn new(cfg: ServeConfig) -> Server {
+        assert!(cfg.high_water <= cfg.capacity, "high_water > capacity");
+        let pool = Pool::new(
+            cfg.capacity,
+            cfg.os_setup.clone(),
+            cfg.panic_probe.clone(),
+            cfg.worker_stack,
+        );
+        Server {
+            cfg,
+            pool,
+            sessions: BTreeMap::new(),
+            next_sid: 1,
+            shed_streak: 0,
+            rr_cursor: 0,
+            draining: false,
+            drain_grace: 0,
+            drain_finished: 0,
+            drain_cancelled: 0,
+            drain_pending: false,
+            log: Vec::new(),
+            stats: ServeStats::default(),
+        }
+    }
+
+    /// Live (admitted, unclosed) sessions.
+    pub fn live(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> ServeStats {
+        self.stats
+    }
+
+    /// The interleaved event log: every frame consumed and emitted so
+    /// far, encoded in order. Two identically-driven servers produce
+    /// byte-identical logs (the replay oracle).
+    pub fn event_log(&self) -> &[u8] {
+        &self.log
+    }
+
+    /// The slot pool (tests inspect slot states).
+    pub fn pool(&self) -> &Pool {
+        &self.pool
+    }
+
+    // ---- feed ------------------------------------------------------------
+
+    /// Consumes one client frame; returns (and logs) the immediate
+    /// responses. Command output arrives later, via [`Server::pump`].
+    pub fn feed(&mut self, frame: Frame) -> Vec<Frame> {
+        frame.encode_into(&mut self.log);
+        let mut out = Vec::new();
+        match frame {
+            Frame::Open { limits, fault_seed } => self.open(limits, fault_seed, &mut out),
+            Frame::Line { sid, cmd } => self.line(sid, cmd, &mut out),
+            Frame::Close { sid } => self.close(sid, &mut out),
+            Frame::Drain { grace } => self.drain(grace, &mut out),
+            other => out.push(Frame::Fault {
+                sid: 0,
+                class: FaultClass::NoSession,
+                detail: format!("server-to-client frame fed to server: {other:?}"),
+            }),
+        }
+        for f in &out {
+            f.encode_into(&mut self.log);
+        }
+        out
+    }
+
+    fn shed(&mut self, out: &mut Vec<Frame>) {
+        let exp = self.shed_streak.min(self.cfg.shed_max_exp);
+        out.push(Frame::Shed {
+            retry_after_ms: self.cfg.shed_base_ms << exp,
+            attempt: self.shed_streak,
+        });
+        self.shed_streak = self.shed_streak.saturating_add(1);
+        self.stats.shed += 1;
+    }
+
+    fn open(&mut self, limits: Vec<(String, u64)>, fault_seed: Option<u64>, out: &mut Vec<Frame>) {
+        if self.draining || self.sessions.len() >= self.cfg.high_water {
+            self.shed(out);
+            return;
+        }
+        if let Some((bad, _)) = limits.iter().find(|(k, _)| Kind::parse(k).is_none()) {
+            out.push(Frame::Fault {
+                sid: 0,
+                class: FaultClass::NoSession,
+                detail: format!("unknown limit kind '{bad}'"),
+            });
+            return;
+        }
+        let Some(slot) = self.pool.acquire() else {
+            // Slots can lag sessions when quarantined/retired ones are
+            // out of rotation; that is still back-pressure.
+            self.shed(out);
+            return;
+        };
+        let mut merged = self.cfg.session_limits.clone();
+        for (k, v) in limits {
+            match merged.iter_mut().find(|(mk, _)| *mk == k) {
+                Some(slot) => slot.1 = v,
+                None => merged.push((k, v)),
+            }
+        }
+        if let Err(e) = self.pool.arm(slot, merged.clone(), fault_seed) {
+            self.pool.release(slot);
+            out.push(Frame::Fault {
+                sid: 0,
+                class: FaultClass::NoSession,
+                detail: e,
+            });
+            return;
+        }
+        let sid = self.next_sid;
+        self.next_sid += 1;
+        self.sessions.insert(
+            sid,
+            Session {
+                slot,
+                limits: merged,
+                queue: VecDeque::new(),
+                running: false,
+                drain_used: 0,
+            },
+        );
+        self.shed_streak = 0;
+        self.stats.opened += 1;
+        self.stats.max_live = self.stats.max_live.max(self.sessions.len());
+        out.push(Frame::Opened { sid });
+    }
+
+    fn line(&mut self, sid: u64, cmd: String, out: &mut Vec<Frame>) {
+        match self.sessions.get_mut(&sid) {
+            None => out.push(Frame::Fault {
+                sid,
+                class: FaultClass::NoSession,
+                detail: String::new(),
+            }),
+            Some(s) => s.queue.push_back(cmd),
+        }
+    }
+
+    fn close(&mut self, sid: u64, out: &mut Vec<Frame>) {
+        let Some(sess) = self.sessions.remove(&sid) else {
+            out.push(Frame::Fault {
+                sid,
+                class: FaultClass::NoSession,
+                detail: String::new(),
+            });
+            return;
+        };
+        if sess.running {
+            let outcome = self.cancel_and_reap(sess.slot);
+            self.emit_console(sid, &outcome, out);
+            if let Some(msg) = &outcome.panic {
+                self.stats.panics += 1;
+                out.push(Frame::Fault {
+                    sid,
+                    class: FaultClass::Panic,
+                    detail: msg.clone(),
+                });
+                self.pool.quarantine(sess.slot);
+                self.scrub_slot(sess.slot);
+                out.push(Frame::Closed { sid });
+                return;
+            }
+            self.stats.cancelled += 1;
+            out.push(Frame::Fault {
+                sid,
+                class: FaultClass::Cancelled,
+                detail: "session closed".to_string(),
+            });
+        }
+        self.release_slot(sid, sess.slot, out);
+        out.push(Frame::Closed { sid });
+    }
+
+    fn drain(&mut self, grace: u64, out: &mut Vec<Frame>) {
+        self.draining = true;
+        self.drain_grace = grace;
+        self.drain_pending = true;
+        // Sessions with nothing in flight close right away; queued but
+        // unstarted commands are dropped (only in-flight work gets the
+        // grace budget).
+        let idle: Vec<u64> = self
+            .sessions
+            .iter()
+            .filter(|(_, s)| !s.running)
+            .map(|(&sid, _)| sid)
+            .collect();
+        for sid in idle {
+            let sess = self.sessions.remove(&sid).expect("session exists");
+            self.release_slot(sid, sess.slot, out);
+            out.push(Frame::Closed { sid });
+        }
+        for sess in self.sessions.values_mut() {
+            sess.queue.clear();
+            sess.drain_used = 0;
+        }
+        if self.sessions.is_empty() {
+            out.push(Frame::Drained {
+                finished: self.drain_finished,
+                cancelled: self.drain_cancelled,
+            });
+            self.drain_pending = false;
+        }
+    }
+
+    // ---- pump ------------------------------------------------------------
+
+    /// Advances execution by up to `max_slices` baton grants,
+    /// round-robin across sessions with work, starting queued commands
+    /// as their slots go idle. Returns (and logs) every frame emitted.
+    /// Returns early when no session has anything in flight.
+    pub fn pump(&mut self, max_slices: u64) -> Vec<Frame> {
+        let mut out = Vec::new();
+        let mut granted = 0u64;
+        loop {
+            self.start_pending();
+            let runnable: Vec<u64> = self
+                .sessions
+                .iter()
+                .filter(|(_, s)| s.running)
+                .map(|(&sid, _)| sid)
+                .collect();
+            if runnable.is_empty() {
+                if self.drain_pending && self.sessions.is_empty() {
+                    out.push(Frame::Drained {
+                        finished: self.drain_finished,
+                        cancelled: self.drain_cancelled,
+                    });
+                    self.drain_pending = false;
+                }
+                break;
+            }
+            if granted >= max_slices {
+                break;
+            }
+            let sid = *runnable
+                .iter()
+                .find(|&&s| s > self.rr_cursor)
+                .unwrap_or(&runnable[0]);
+            self.rr_cursor = sid;
+            let slot = self.sessions[&sid].slot;
+
+            if self.draining {
+                let used = {
+                    let s = self.sessions.get_mut(&sid).expect("session exists");
+                    s.drain_used += 1;
+                    s.drain_used
+                };
+                if used > self.drain_grace {
+                    // Deadline: cancel this straggler instead of
+                    // granting another slice.
+                    let sess = self.sessions.remove(&sid).expect("session exists");
+                    let outcome = self.cancel_and_reap(slot);
+                    self.emit_console(sid, &outcome, &mut out);
+                    self.stats.cancelled += 1;
+                    self.drain_cancelled += 1;
+                    out.push(Frame::Fault {
+                        sid,
+                        class: FaultClass::Cancelled,
+                        detail: "drain deadline".to_string(),
+                    });
+                    if outcome.panic.is_some() {
+                        self.stats.panics += 1;
+                        self.pool.quarantine(sess.slot);
+                        self.scrub_slot(sess.slot);
+                    } else {
+                        self.release_slot(sid, sess.slot, &mut out);
+                    }
+                    out.push(Frame::Closed { sid });
+                    continue;
+                }
+            }
+
+            self.pool.gate(slot).grant(self.cfg.slice_steps);
+            granted += 1;
+            if self.pool.gate(slot).wait_parked() == Phase::Done {
+                self.pool.gate(slot).wait_done();
+                let Some(Reply::Ran(outcome)) = self.pool.take_reply(slot) else {
+                    continue;
+                };
+                self.finish_command(sid, outcome, &mut out);
+            }
+        }
+        for f in &out {
+            f.encode_into(&mut self.log);
+        }
+        out
+    }
+
+    /// Starts the head-of-queue command on every idle session,
+    /// re-arming its limit budget first (a breach disarms the breached
+    /// kind; each command gets a fresh budget).
+    fn start_pending(&mut self) {
+        let ready: Vec<u64> = self
+            .sessions
+            .iter()
+            .filter(|(_, s)| !s.running && !s.queue.is_empty())
+            .map(|(&sid, _)| sid)
+            .collect();
+        for sid in ready {
+            let (slot, limits, cmd) = {
+                let s = self.sessions.get_mut(&sid).expect("session exists");
+                let cmd = s.queue.pop_front().expect("queue non-empty");
+                s.running = true;
+                (s.slot, s.limits.clone(), cmd)
+            };
+            let _ = self.pool.arm(slot, limits, None);
+            self.pool.start_run(slot, cmd);
+        }
+    }
+
+    fn finish_command(&mut self, sid: u64, outcome: Outcome, out: &mut Vec<Frame>) {
+        self.emit_console(sid, &outcome, out);
+        if let Some(msg) = &outcome.panic {
+            // Session-fatal: the machine is untrustworthy. Quarantine
+            // and scrub; other sessions never notice.
+            self.stats.panics += 1;
+            let sess = self.sessions.remove(&sid).expect("session exists");
+            out.push(Frame::Fault {
+                sid,
+                class: FaultClass::Panic,
+                detail: msg.clone(),
+            });
+            self.pool.quarantine(sess.slot);
+            self.scrub_slot(sess.slot);
+            out.push(Frame::Closed { sid });
+            return;
+        }
+        if outcome.cancelled {
+            // Only the drain path cancels without removing the session
+            // first, and it reaps synchronously — a cancel seen here
+            // means the close raced a completion; treat as done.
+            self.stats.cancelled += 1;
+        }
+        match &outcome.result {
+            Ok(v) => {
+                self.stats.completed += 1;
+                out.push(Frame::Done {
+                    sid,
+                    ok: true,
+                    value: v.clone(),
+                });
+            }
+            Err(e) => {
+                self.stats.failed += 1;
+                out.push(Frame::Done {
+                    sid,
+                    ok: false,
+                    value: e.clone(),
+                });
+            }
+        }
+        if self.draining {
+            self.drain_finished += 1;
+            let sess = self.sessions.remove(&sid).expect("session exists");
+            self.release_slot(sid, sess.slot, out);
+            out.push(Frame::Closed { sid });
+            return;
+        }
+        let s = self.sessions.get_mut(&sid).expect("session exists");
+        s.running = false;
+    }
+
+    fn emit_console(&self, sid: u64, outcome: &Outcome, out: &mut Vec<Frame>) {
+        if !outcome.stdout.is_empty() {
+            out.push(Frame::Out {
+                sid,
+                bytes: outcome.stdout.clone().into_bytes(),
+            });
+        }
+        if !outcome.stderr.is_empty() {
+            out.push(Frame::Err {
+                sid,
+                bytes: outcome.stderr.clone().into_bytes(),
+            });
+        }
+    }
+
+    /// Cancels the in-flight command on `slot` and waits for the
+    /// worker's reply. The worker may be parked mid-command or still
+    /// waiting for its first slice; `wake` covers the latter without
+    /// racing a completion.
+    fn cancel_and_reap(&mut self, slot: usize) -> Outcome {
+        let gate = self.pool.gate(slot);
+        gate.cancel();
+        gate.wake();
+        gate.wait_done();
+        match self.pool.take_reply(slot) {
+            Some(Reply::Ran(o)) => o,
+            _ => Outcome {
+                result: Err("slot worker gone".to_string()),
+                cancelled: true,
+                panic: Some("slot worker gone".to_string()),
+                stdout: String::new(),
+                stderr: String::new(),
+                steps: 0,
+            },
+        }
+    }
+
+    /// Recycle+audit on session close. A dirty audit is a containment
+    /// event: report it, scrub the slot (retiring it if even a fresh
+    /// boot fails), and keep serving.
+    fn release_slot(&mut self, sid: u64, slot: usize, out: &mut Vec<Frame>) {
+        let report = self.pool.release(slot);
+        if !report.clean() {
+            self.stats.oracle_violations += 1;
+            out.push(Frame::Fault {
+                sid,
+                class: FaultClass::Oracle,
+                detail: report.violations().join(","),
+            });
+            self.scrub_slot(slot);
+        }
+    }
+
+    fn scrub_slot(&mut self, slot: usize) {
+        self.stats.scrubs += 1;
+        let report = self.pool.scrub(slot);
+        if !report.clean() {
+            self.stats.oracle_violations += 1;
+        }
+        if self.pool.state(slot) == SlotState::Retired {
+            self.stats.retired += 1;
+        }
+    }
+}

@@ -18,10 +18,28 @@
 //! With no script and no `-c`, starts the interactive loop — which is
 //! `%interactive-loop` from Figure 3 of the paper, written in es and
 //! replaceable from the command line.
+//!
+//! ```text
+//! es serve [serve options]
+//!
+//!   --capacity N      pooled Machine slots (default 8)
+//!   --high-water N    admission ceiling; above this, Open is shed
+//!   --slice-steps N   charge ticks per scheduling slice
+//!   --limit KIND=N    default per-command limits for every session
+//! ```
+//!
+//! `serve` speaks the es-serve frame protocol on stdin/stdout: clients
+//! send `open`/`line`/`close`/`drain` frames and receive
+//! `opened`/`out`/`err`/`done`/`fault`/`shed`/... back. EOF on stdin
+//! is treated as `drain`, so piping a frame script through `es serve`
+//! terminates cleanly.
 
 use es_core::{Engine, Machine, Options};
 use es_os::{Os, RealOs, SimOs};
+use es_serve::{Frame, ProtoError, ServeConfig, Server};
+use std::io::{Read, Write};
 use std::process::ExitCode;
+use std::sync::mpsc;
 
 struct Args {
     command: Option<String>,
@@ -153,7 +171,171 @@ fn es_core_env<O: Os + Clone>(m: &Machine<O>) -> Vec<(String, String)> {
     m.export_environment()
 }
 
+fn parse_serve_args<I: Iterator<Item = String>>(mut argv: I) -> Result<ServeConfig, String> {
+    let mut cfg = ServeConfig::default();
+    while let Some(arg) = argv.next() {
+        let mut num = |name: &str| -> Result<u64, String> {
+            argv.next()
+                .ok_or_else(|| format!("{name} needs an argument"))?
+                .parse()
+                .map_err(|_| format!("{name}: expected a number"))
+        };
+        match arg.as_str() {
+            "--capacity" => cfg.capacity = num("--capacity")? as usize,
+            "--high-water" => cfg.high_water = num("--high-water")? as usize,
+            "--slice-steps" => cfg.slice_steps = num("--slice-steps")?,
+            "--limit" => {
+                let spec = argv.next().ok_or("--limit needs a KIND=N argument")?;
+                let (kind, value) = spec
+                    .split_once('=')
+                    .ok_or_else(|| format!("--limit {spec}: expected KIND=N"))?;
+                let value: u64 = value
+                    .parse()
+                    .map_err(|_| format!("--limit {spec}: '{value}' is not a number"))?;
+                cfg.session_limits.push((kind.to_string(), value));
+            }
+            "-h" | "--help" => {
+                println!(
+                    "usage: es serve [--capacity N] [--high-water N] \
+                     [--slice-steps N] [--limit KIND=N]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("serve: unknown option {other}")),
+        }
+    }
+    Ok(cfg)
+}
+
+/// The framed session server on stdio. A reader thread chunks stdin
+/// into the channel; the main loop decodes frames, feeds the server,
+/// pumps in-flight work between arrivals, and flushes every emitted
+/// frame. EOF becomes `drain` so the process exits once live work is
+/// finished or cancelled past the grace allowance.
+fn run_serve(cfg: ServeConfig) -> i32 {
+    let (tx, rx) = mpsc::channel::<Vec<u8>>();
+    std::thread::Builder::new()
+        .name("es-serve-stdin".into())
+        .spawn(move || {
+            let mut stdin = std::io::stdin().lock();
+            let mut chunk = [0u8; 4096];
+            loop {
+                match stdin.read(&mut chunk) {
+                    Ok(0) | Err(_) => break,
+                    Ok(n) => {
+                        if tx.send(chunk[..n].to_vec()).is_err() {
+                            break;
+                        }
+                    }
+                }
+            }
+        })
+        .expect("spawn stdin reader");
+
+    // Writes frames to the client; `Some(saw_drained)` on success,
+    // `None` when the client hung up.
+    fn emit(stdout: &mut std::io::StdoutLock<'_>, frames: &[Frame]) -> Option<bool> {
+        let mut wire = Vec::new();
+        let mut saw_drained = false;
+        for f in frames {
+            saw_drained |= matches!(f, Frame::Drained { .. });
+            f.encode_into(&mut wire);
+        }
+        stdout
+            .write_all(&wire)
+            .and_then(|_| stdout.flush())
+            .ok()
+            .map(|_| saw_drained)
+    }
+
+    let mut server = Server::new(cfg);
+    let mut buf: Vec<u8> = Vec::new();
+    let mut stdout = std::io::stdout().lock();
+    let mut eof = false;
+    let mut drain_sent = false;
+
+    loop {
+        // Ingest whatever the reader thread has queued (non-blocking;
+        // the bottom of the loop blocks when there is nothing to do).
+        loop {
+            match rx.try_recv() {
+                Ok(c) => buf.extend_from_slice(&c),
+                Err(mpsc::TryRecvError::Empty) => break,
+                Err(mpsc::TryRecvError::Disconnected) => {
+                    eof = true;
+                    break;
+                }
+            }
+        }
+
+        // Decode and feed complete frames.
+        let mut fed = false;
+        loop {
+            match Frame::decode(&buf) {
+                Ok((frame, used)) => {
+                    buf.drain(..used);
+                    fed = true;
+                    let replies = server.feed(frame);
+                    match emit(&mut stdout, &replies) {
+                        Some(true) => return 0,
+                        Some(false) => {}
+                        None => return 0, // client hung up
+                    }
+                }
+                Err(ProtoError::NeedMore) => break,
+                Err(ProtoError::Bad(msg)) => {
+                    eprintln!("es serve: bad frame: {msg}");
+                    return 2;
+                }
+            }
+        }
+
+        let pumped = server.pump(512);
+        match emit(&mut stdout, &pumped) {
+            Some(true) | None => return 0,
+            Some(false) => {}
+        }
+        if drain_sent && pumped.is_empty() {
+            // Drained should have surfaced above; don't spin forever
+            // if the server has nothing left to say.
+            return 0;
+        }
+
+        // Nothing fed, nothing pumped: the server is quiescent. At
+        // EOF that means the client is done talking and all queued
+        // work has run — drain (cancelling anything past the grace
+        // allowance) and exit; otherwise block until the client
+        // speaks again.
+        if pumped.is_empty() && !fed {
+            if eof {
+                if !drain_sent {
+                    drain_sent = true;
+                    match emit(&mut stdout, &server.feed(Frame::Drain { grace: 1024 })) {
+                        Some(true) | None => return 0,
+                        Some(false) => {}
+                    }
+                }
+            } else {
+                match rx.recv() {
+                    Ok(c) => buf.extend_from_slice(&c),
+                    Err(_) => eof = true,
+                }
+            }
+        }
+    }
+}
+
 fn main() -> ExitCode {
+    if std::env::args().nth(1).as_deref() == Some("serve") {
+        let cfg = match parse_serve_args(std::env::args().skip(2)) {
+            Ok(c) => c,
+            Err(msg) => {
+                eprintln!("es: {msg}");
+                return ExitCode::from(2);
+            }
+        };
+        return ExitCode::from(run_serve(cfg).clamp(0, 255) as u8);
+    }
     let args = match parse_args() {
         Ok(a) => a,
         Err(msg) => {
